@@ -1,0 +1,116 @@
+"""Ablations of the model's design choices (DESIGN.md §5 knobs).
+
+Not a paper figure — these justify the calibration by showing each
+mechanism carries its observed effect:
+
+* the UCX device-pipeline threshold *causes* the Fig. 7a inversion
+  (raise it to infinity and GPU-aware wins);
+* kernel-launch overhead *causes* the fusion gains of Fig. 8
+  (make launches cheap and fusion stops paying);
+* the pipeline-concurrency penalty (OFF by default) widens the Fig. 7a
+  gap but corrupts Fig. 7c's ODF preference — why it ships disabled.
+"""
+
+from conftest import report
+
+from repro.analysis import FigureData
+from repro.apps import Jacobi3DConfig, run_jacobi3d
+from repro.core import Claim
+from repro.hardware import GiB, MachineSpec
+
+
+def _per_iter(machine, **kw):
+    kw.setdefault("iterations", 5)
+    kw.setdefault("warmup", 1)
+    return run_jacobi3d(Jacobi3DConfig(machine=machine, **kw)).time_per_iteration
+
+
+def test_pipeline_threshold_causes_fig7a_inversion(benchmark):
+    summit = MachineSpec.summit()
+    no_pipeline = summit.with_ucx(device_pipeline_threshold=1 * GiB)
+    grid = (3072, 3072, 3072)
+
+    def run():
+        fig = FigureData("ablation_pipeline", "Pipeline-threshold ablation (8 nodes, 1536^3/node)",
+                         "machine", "time/iter (s)")
+        for name, machine in (("summit", summit), ("no-pipeline", no_pipeline)):
+            h = _per_iter(machine, version="charm-h", nodes=8, grid=grid, odf=4)
+            d = _per_iter(machine, version="charm-d", nodes=8, grid=grid, odf=4)
+            fig.new_series(f"{name} charm-h").add(8, h)
+            fig.new_series(f"{name} charm-d").add(8, d)
+        return fig
+
+    fig = benchmark.pedantic(run, rounds=1, iterations=1)
+    claims = [
+        Claim("with pipelined staging, GPU-aware loses",
+              fig.series["summit charm-d"].y_at(8) > fig.series["summit charm-h"].y_at(8)),
+        Claim("without the pipeline fallback, GPU-aware wins",
+              fig.series["no-pipeline charm-d"].y_at(8)
+              < fig.series["no-pipeline charm-h"].y_at(8)),
+    ]
+    report(fig, claims)
+
+
+def test_launch_overhead_causes_fusion_gains(benchmark):
+    summit = MachineSpec.summit()
+    cheap = summit.with_gpu(kernel_launch_cpu_s=0.65e-6, kernel_launch_device_s=0.25e-6)
+    grid = (768, 768, 768)
+
+    def run():
+        fig = FigureData("ablation_launch", "Launch-overhead ablation (16 nodes, ODF 8)",
+                         "machine", "fusion-C speedup (x)")
+        for name, machine in (("summit", summit), ("cheap-launches", cheap)):
+            base = _per_iter(machine, version="charm-d", nodes=16, grid=grid, odf=8)
+            fused = _per_iter(machine, version="charm-d", nodes=16, grid=grid, odf=8,
+                              fusion="C")
+            fig.new_series(name).add(16, base / fused)
+        return fig
+
+    fig = benchmark.pedantic(run, rounds=1, iterations=1)
+    claims = [
+        Claim("fusion pays on Summit-like launch costs (>1.5x)",
+              fig.series["summit"].y_at(16) > 1.5,
+              f"{fig.series['summit'].y_at(16):.2f}x"),
+        Claim("cheap launches shrink the fusion benefit",
+              fig.series["cheap-launches"].y_at(16) < fig.series["summit"].y_at(16)),
+    ]
+    report(fig, claims)
+
+
+def test_concurrency_penalty_microbench(benchmark):
+    """The optional stacking knob, measured at the protocol level: 16
+    concurrent pipelined sends from one GPU drain slower when the penalty
+    models UCX progress-context degradation.  (Ships disabled: at app level
+    the extra wire time is usually hidden by overlap, and enabling it flips
+    Charm-D's strong-scaling ODF preference — see specs.py.)"""
+    from repro.comm import UcxContext
+    from repro.hardware import Cluster, MiB
+    from repro.sim import Engine
+
+    def drain(penalty: float) -> float:
+        machine = MachineSpec.summit().with_ucx(pipeline_concurrency_penalty=penalty)
+        engine = Engine()
+        cluster = Cluster(engine, machine, 2)
+        ucx = UcxContext(cluster)
+        for k in range(16):
+            ucx.isend(0, 6, 4 * MiB, tag=k, on_device=True)
+            ucx.irecv(0, 6, 4 * MiB, tag=k, on_device=True)
+        engine.run()
+        return engine.now
+
+    def run():
+        fig = FigureData("ablation_stacking",
+                         "Concurrency-penalty ablation (16 x 4 MiB pipelined sends)",
+                         "penalty", "drain time (s)")
+        series = fig.new_series("one-device drain")
+        for penalty in (0.0, 0.04, 0.08):
+            series.add(penalty, drain(penalty))
+        return fig
+
+    fig = benchmark.pedantic(run, rounds=1, iterations=1)
+    ys = fig.series["one-device drain"].ys()
+    claims = [
+        Claim("higher penalty -> slower aggregate drain", ys[0] < ys[1] < ys[2],
+              " / ".join(f"{y*1e3:.2f}ms" for y in ys)),
+    ]
+    report(fig, claims)

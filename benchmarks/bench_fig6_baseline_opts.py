@@ -1,0 +1,25 @@
+"""Figure 6: Charm-H before/after the baseline optimizations (§III-C).
+
+Regenerates both panels: weak scaling at 1536³/node and strong scaling of
+the 3072³ grid, ODF 4, host-staging communication.
+"""
+
+from conftest import ladder, report
+
+from repro.core import check_figure6, figure6
+
+
+def test_fig6a_weak_baseline_optimizations(benchmark, progress):
+    fig = benchmark.pedantic(
+        lambda: figure6(mode="weak", nodes=ladder("fig6"), progress=progress),
+        rounds=1, iterations=1,
+    )
+    report(fig, check_figure6(fig))
+
+
+def test_fig6b_strong_baseline_optimizations(benchmark, progress):
+    fig = benchmark.pedantic(
+        lambda: figure6(mode="strong", nodes=ladder("fig6b"), progress=progress),
+        rounds=1, iterations=1,
+    )
+    report(fig, check_figure6(fig))

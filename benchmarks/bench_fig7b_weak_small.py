@@ -1,0 +1,18 @@
+"""Figure 7b: weak scaling at 192³ per node (≤ 96 KB halos).
+
+The opposite regime from Fig. 7a: halos ride GPUDirect, so GPU-aware
+communication wins for both MPI and Charm++, and overdecomposition only
+adds overhead (ODF 1 is best).
+"""
+
+from conftest import ladder, report
+
+from repro.core import check_figure7b, figure7b
+
+
+def test_fig7b_weak_scaling_small_problem(benchmark, progress):
+    fig = benchmark.pedantic(
+        lambda: figure7b(nodes=ladder("fig7b"), progress=progress),
+        rounds=1, iterations=1,
+    )
+    report(fig, check_figure7b(fig))

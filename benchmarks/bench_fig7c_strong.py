@@ -1,0 +1,19 @@
+"""Figure 7c: strong scaling of a 3072³ grid (8..512 nodes).
+
+Charm-D combines overlap with GPU-aware communication: it overtakes every
+other version once halos drop below the pipeline threshold, sustains a
+higher best-ODF to larger node counts than Charm-H (later crossover), and
+reaches sub-millisecond iterations at 512 nodes in the full ladder.
+"""
+
+from conftest import ladder, report
+
+from repro.core import check_figure7c, figure7c
+
+
+def test_fig7c_strong_scaling(benchmark, progress):
+    fig = benchmark.pedantic(
+        lambda: figure7c(nodes=ladder("fig7c"), progress=progress),
+        rounds=1, iterations=1,
+    )
+    report(fig, check_figure7c(fig))

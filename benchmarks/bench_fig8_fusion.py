@@ -1,0 +1,19 @@
+"""Figure 8: kernel-fusion strategies A/B/C on GPU-aware Charm++ Jacobi3D,
+768³ strong scaling at ODF 1 and ODF 8.
+
+Fusion attacks kernel-launch overhead; its gains grow with scale (smaller
+kernels) and with overdecomposition (more of them): strategy C reaches
+~20 % at ODF-1 and ~50 % at ODF-8 in the paper.
+"""
+
+from conftest import ladder, report
+
+from repro.core import check_figure8, figure8
+
+
+def test_fig8_kernel_fusion(benchmark, progress):
+    fig = benchmark.pedantic(
+        lambda: figure8(nodes=ladder("fig8"), progress=progress),
+        rounds=1, iterations=1,
+    )
+    report(fig, check_figure8(fig))

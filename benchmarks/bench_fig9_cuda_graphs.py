@@ -1,0 +1,19 @@
+"""Figure 9: CUDA Graphs speedup (with and without fusion), 768³ strong
+scaling at ODF 1 and ODF 8.
+
+Graphs amortize launch CPU time: big wins where the PE is saturated with
+launches (high ODF, no fusion), little effect at ODF 1, and shrinking
+benefit as fusion removes the launches graphs would have amortized.
+"""
+
+from conftest import ladder, report
+
+from repro.core import check_figure9, figure9
+
+
+def test_fig9_cuda_graphs_speedup(benchmark, progress):
+    fig = benchmark.pedantic(
+        lambda: figure9(nodes=ladder("fig9"), progress=progress),
+        rounds=1, iterations=1,
+    )
+    report(fig, check_figure9(fig))

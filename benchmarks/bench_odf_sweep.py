@@ -1,0 +1,27 @@
+"""§IV-B ODF sweeps: the overdecomposition sweet spot depends on problem
+size — ODF ~4 for the 1536³/node problem (overlap pays), ODF 1 for the
+192³/node problem (runtime overheads dominate at tiny grain)."""
+
+from conftest import report
+
+from repro.core import check_odf_sweep, odf_sweep
+
+
+def test_odf_sweep_large_problem(benchmark, progress):
+    fig = benchmark.pedantic(
+        lambda: odf_sweep(base=(1536, 1536, 1536), nodes=8,
+                          odfs=(1, 2, 4, 8, 16), progress=progress),
+        rounds=1, iterations=1,
+    )
+    fig.figure_id = "odf_sweep_1536"
+    report(fig, check_odf_sweep(fig, {"charm-h": (2, 4, 8), "charm-d": (2, 4, 8, 16)}))
+
+
+def test_odf_sweep_small_problem(benchmark, progress):
+    fig = benchmark.pedantic(
+        lambda: odf_sweep(base=(192, 192, 192), nodes=8,
+                          odfs=(1, 2, 4, 8), progress=progress),
+        rounds=1, iterations=1,
+    )
+    fig.figure_id = "odf_sweep_192"
+    report(fig, check_odf_sweep(fig, {"charm-h": (1,), "charm-d": (1,)}))

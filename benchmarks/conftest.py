@@ -1,0 +1,52 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one of the paper's figures, prints the
+paper-style table (plus an ASCII chart), saves the raw series to
+``results/<figure_id>.json``, and asserts the figure's shape claims.
+
+Node ladders default to the quick ranges; set ``REPRO_BENCH_FULL=1`` for
+paper-scale ladders (minutes per figure — used to produce EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import render_figure
+from repro.core import FULL_NODES, QUICK_NODES, render_claims
+
+RESULTS_DIR = Path(
+    os.environ.get("REPRO_RESULTS_DIR",
+                   Path(__file__).resolve().parent.parent / "results")
+)
+
+
+def ladder(key: str):
+    table = FULL_NODES if os.environ.get("REPRO_BENCH_FULL") else QUICK_NODES
+    return table[key]
+
+
+def report(fig, claims, extra_notes=()):
+    """Print, persist, and assert one reproduced figure."""
+    for note in extra_notes:
+        fig.note(note)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    fig.save_json(RESULTS_DIR / f"{fig.figure_id}.json")
+    print()
+    print(render_figure(fig))
+    print(render_claims(claims))
+    failed = [c for c in claims if not c.ok]
+    assert not failed, "shape claims failed:\n" + render_claims(failed)
+
+
+@pytest.fixture
+def progress(capsys):
+    """Per-point progress lines (visible with ``pytest -s``)."""
+
+    def emit(line: str) -> None:
+        print(f"    {line}")
+
+    return emit

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""The paper in miniature: compare MPI-H / MPI-D / Charm-H / Charm-D.
+
+Reproduces the §IV-B story on a reduced ladder:
+
+* large problem (1536³/node): overdecomposition wins, GPU-aware *loses*
+  (pipelined host staging for multi-MB halos);
+* small problem (192³/node): GPU-aware wins, overdecomposition loses.
+
+Usage:  python examples/compare_versions.py [--nodes 1 2 4 8]
+"""
+
+import argparse
+
+from repro.analysis import render_figure
+from repro.core import (
+    check_figure7a,
+    check_figure7b,
+    figure7a,
+    figure7b,
+    odf_sweep,
+    render_claims,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, nargs="+", default=[1, 2, 4, 8],
+                        help="weak-scaling node ladder (powers of two)")
+    args = parser.parse_args()
+
+    print("=" * 72)
+    print("Large problem: 1536^3 per node (halos up to ~9 MB)")
+    print("=" * 72)
+    fig_a = figure7a(nodes=args.nodes, progress=lambda s: print("  " + s))
+    print()
+    print(render_figure(fig_a))
+    print(render_claims(check_figure7a(fig_a)))
+
+    print()
+    print("=" * 72)
+    print("Small problem: 192^3 per node (halos up to 96 KB)")
+    print("=" * 72)
+    fig_b = figure7b(nodes=args.nodes, progress=lambda s: print("  " + s))
+    print()
+    print(render_figure(fig_b))
+    print(render_claims(check_figure7b(fig_b)))
+
+    print()
+    print("=" * 72)
+    print("Overdecomposition sweep at the largest ladder point")
+    print("=" * 72)
+    sweep = odf_sweep(base=(1536, 1536, 1536), nodes=max(args.nodes),
+                      odfs=(1, 2, 4, 8))
+    print(render_figure(sweep, plot=False))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Fault tolerance: checkpoint, lose a node, restart — and lose no physics.
+
+Overdecomposition decouples chares from PEs, so after a node failure the
+*same* 24 blocks simply restart on the surviving node at twice the ODF.
+Double in-memory checkpointing (each PE's chares mirrored on a buddy node)
+guarantees a live copy of every block after any single-node failure.
+
+The kicker is the last line: the restarted computation is bit-identical to
+an uninterrupted serial solve of all 12 iterations.
+
+Usage:  python examples/fault_tolerance.py
+"""
+
+import numpy as np
+
+from repro.apps import AppContext, Jacobi3DConfig, run_jacobi3d
+from repro.hardware import Cluster, MachineSpec
+from repro.kernels import reference_solve
+from repro.runtime import CharmRuntime, restore_array, take_checkpoint
+from repro.apps.jacobi3d.charm_app import make_block_class
+
+GRID = (48, 48, 48)
+PHASE_ITERS = 6
+
+
+def main() -> None:
+    machine = MachineSpec.summit()
+
+    # ---- phase 1: 2 nodes, ODF 2 (24 chares on 12 GPUs) -------------------
+    cfg1 = Jacobi3DConfig(version="charm-d", nodes=2, grid=GRID, odf=2,
+                          iterations=PHASE_ITERS, warmup=0,
+                          data_mode="functional", machine=machine)
+    print(f"phase 1: {cfg1.n_blocks()} chares on {cfg1.n_pes()} GPUs "
+          f"(2 nodes, ODF {cfg1.odf}), {PHASE_ITERS} iterations")
+    res1 = run_jacobi3d(cfg1)
+    print(f"  done at t={res1.total_time * 1e3:.2f} ms simulated")
+
+    # ---- checkpoint with modeled buddy-copy cost ---------------------------
+    # (demonstrated on a fresh runtime holding the same states: run_jacobi3d
+    # returns block interiors; the runtime-level API prices the buddy copies)
+    engine_cost = _checkpoint_cost_demo(cfg1, res1)
+    print(f"  checkpoint: double in-memory, buddy copies cost "
+          f"{engine_cost * 1e3:.3f} ms of network time")
+
+    # ---- failure + restart on the surviving node ---------------------------
+    print("\nnode 1 FAILS.")
+    cfg2 = Jacobi3DConfig(version="charm-d", nodes=1, grid=GRID, odf=4,
+                          iterations=PHASE_ITERS, warmup=0,
+                          data_mode="functional", machine=machine)
+    assert cfg2.n_blocks() == cfg1.n_blocks()
+    print(f"phase 2: restart the same {cfg2.n_blocks()} chares on "
+          f"{cfg2.n_pes()} GPUs (1 node, ODF {cfg2.odf}), "
+          f"{PHASE_ITERS} more iterations")
+    res2 = run_jacobi3d(cfg2, initial_state=res1.blocks)
+    print(f"  done at t={res2.total_time * 1e3:.2f} ms simulated "
+          f"({res2.time_per_iteration * 1e6:.1f} us/iter on half the GPUs)")
+
+    # ---- the proof ----------------------------------------------------------
+    final = res2.assemble_grid(AppContext(cfg2).geometry)
+    ref = reference_solve(GRID, 2 * PHASE_ITERS)[1:-1, 1:-1, 1:-1]
+    exact = np.array_equal(final, ref)
+    print(f"\nrestarted result bit-identical to an uninterrupted "
+          f"{2 * PHASE_ITERS}-iteration solve: {exact}")
+    if not exact:
+        raise SystemExit("numerical mismatch after restart — bug")
+
+
+def _checkpoint_cost_demo(cfg, res) -> float:
+    """Price the buddy-copy traffic of a checkpoint of this state using the
+    runtime-level API on a fresh quiesced runtime."""
+    from repro.runtime import Chare
+    from repro.sim import Engine
+
+    engine = Engine()
+    cluster = Cluster(engine, cfg.machine, cfg.nodes)
+    runtime = CharmRuntime(cluster)
+    blocks = res.blocks
+
+    class Holder(Chare):
+        def pup(self):
+            return {"interior": blocks[self.index]}
+
+        def unpup(self, state):
+            pass
+
+    geo = AppContext(cfg).geometry
+    array = runtime.create_array(Holder, shape=geo.shape)
+    ckpt = take_checkpoint(runtime, array)
+    # Round-trip sanity: the checkpoint must survive either single failure.
+    assert ckpt.survives([0]) and ckpt.survives([1])
+    restore_array(array, ckpt, failed_nodes=[1])
+    return ckpt.cost_seconds
+
+
+if __name__ == "__main__":
+    main()

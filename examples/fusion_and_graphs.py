@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Fighting fine-grained overheads: kernel fusion and CUDA Graphs.
+
+Strong-scales a small 768³ grid (the paper's §III-D workload) and shows:
+
+* fusion strategies A/B/C cutting launch overheads — modest at ODF 1,
+  dramatic at ODF 8 where launches saturate the host core;
+* CUDA Graphs amortizing launch CPU time, with benefit that *shrinks* as
+  fusion removes the launches graphs would have amortized.
+
+Usage:  python examples/fusion_and_graphs.py [--nodes 1 4 16]
+"""
+
+import argparse
+
+from repro.apps import Jacobi3DConfig, run_jacobi3d
+from repro.kernels import FusionStrategy, kernel_launches_per_iteration
+
+
+def run(nodes: int, odf: int, fusion, graphs: bool) -> float:
+    cfg = Jacobi3DConfig(
+        version="charm-d", nodes=nodes, grid=(768, 768, 768), odf=odf,
+        fusion=fusion, cuda_graphs=graphs, iterations=6, warmup=1,
+    )
+    return run_jacobi3d(cfg).time_per_iteration
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, nargs="+", default=[1, 4, 16])
+    args = parser.parse_args()
+
+    print("Kernel launches per iteration (interior block):")
+    for strat in FusionStrategy:
+        print(f"  {strat.value:8s} -> {kernel_launches_per_iteration(strat, 6):2d} launches")
+
+    for odf in (1, 8):
+        print(f"\n=== ODF {odf}: time per iteration (us) ===")
+        header = f"{'nodes':>6} | " + " | ".join(
+            f"{s.value:>8}" for s in FusionStrategy) + " |   graphs | graphs+C"
+        print(header)
+        print("-" * len(header))
+        for n in args.nodes:
+            cells = [f"{run(n, odf, s, False) * 1e6:8.1f}" for s in FusionStrategy]
+            g = run(n, odf, FusionStrategy.NONE, True) * 1e6
+            gc = run(n, odf, FusionStrategy.C, True) * 1e6
+            print(f"{n:>6} | " + " | ".join(cells) + f" | {g:8.1f} | {gc:8.1f}")
+
+    print("\nReading the table: at ODF 8 the per-PE launch load is 8x higher, "
+          "so fusion-C and CUDA Graphs recover most of the lost time; "
+          "combining them leaves graphs little left to amortize.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Analysis utilities: series containers, rendering, crossover detection."""
+
+from .ascii_plot import render_figure, render_plot, render_table
+from .crossover import best_label_per_x, crossover_x, speedup_series
+from .series import FigureData, Series
+
+__all__ = [
+    "render_figure",
+    "render_plot",
+    "render_table",
+    "best_label_per_x",
+    "crossover_x",
+    "speedup_series",
+    "FigureData",
+    "Series",
+]

@@ -1,0 +1,93 @@
+"""Terminal rendering of figure data: tables and log-log ASCII charts."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from .series import FigureData, Series
+
+__all__ = ["render_table", "render_plot", "render_figure"]
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    if value >= 100:
+        return f"{value:.0f}"
+    if value >= 1:
+        return f"{value:.2f}"
+    return f"{value:.3g}"
+
+
+def render_table(fig: FigureData) -> str:
+    """A markdown-ish table: one row per x, one column per series."""
+    xs = sorted({x for s in fig.series.values() for x in s.xs()})
+    labels = list(fig.series)
+    widths = [max(8, len(fig.xlabel))] + [max(10, len(lb)) for lb in labels]
+    header = " | ".join(
+        [fig.xlabel.ljust(widths[0])] + [lb.rjust(w) for lb, w in zip(labels, widths[1:])]
+    )
+    sep = "-+-".join("-" * w for w in widths)
+    rows = [header, sep]
+    for x in xs:
+        cells = [_fmt(x).ljust(widths[0])]
+        for lb, w in zip(labels, widths[1:]):
+            try:
+                cells.append(_fmt(fig.series[lb].y_at(x)).rjust(w))
+            except KeyError:
+                cells.append("-".rjust(w))
+        rows.append(" | ".join(cells))
+    return "\n".join(rows)
+
+
+_MARKS = "ox+*#@%&"
+
+
+def render_plot(fig: FigureData, width: int = 68, height: int = 18,
+                logx: bool = True, logy: bool = True) -> str:
+    """A crude log-log scatter chart of every series (terminal friendly)."""
+    pts = [(x, y) for s in fig.series.values() for x, y in s.points if y > 0 and x > 0]
+    if not pts:
+        return "(no data)"
+
+    def tx(v, lo, hi, n, log):
+        if log:
+            v, lo, hi = math.log10(v), math.log10(lo), math.log10(hi)
+        if hi == lo:
+            return 0
+        return int(round((v - lo) / (hi - lo) * (n - 1)))
+
+    x_lo, x_hi = min(p[0] for p in pts), max(p[0] for p in pts)
+    y_lo, y_hi = min(p[1] for p in pts), max(p[1] for p in pts)
+    grid = [[" "] * width for _ in range(height)]
+    for i, (label, s) in enumerate(fig.series.items()):
+        mark = _MARKS[i % len(_MARKS)]
+        for x, y in s.points:
+            if x <= 0 or y <= 0:
+                continue
+            col = tx(x, x_lo, x_hi, width, logx)
+            row = height - 1 - tx(y, y_lo, y_hi, height, logy)
+            grid[row][col] = mark
+    lines = ["".join(row) for row in grid]
+    legend = "  ".join(
+        f"{_MARKS[i % len(_MARKS)]}={label}" for i, label in enumerate(fig.series)
+    )
+    frame = [f"{fig.title}  [{fig.ylabel} vs {fig.xlabel}, log-log]"]
+    frame += ["  +" + "-" * width + "+"]
+    frame += ["  |" + ln + "|" for ln in lines]
+    frame += ["  +" + "-" * width + "+"]
+    frame += [f"  x: {_fmt(x_lo)} .. {_fmt(x_hi)}   y: {_fmt(y_lo)} .. {_fmt(y_hi)}"]
+    frame += ["  " + legend]
+    return "\n".join(frame)
+
+
+def render_figure(fig: FigureData, plot: bool = True) -> str:
+    """Table + optional chart + notes, ready to print."""
+    parts = [f"== {fig.figure_id}: {fig.title} ==", render_table(fig)]
+    if plot:
+        parts.append("")
+        parts.append(render_plot(fig))
+    for note in fig.notes:
+        parts.append(f"note: {note}")
+    return "\n".join(parts)

@@ -1,0 +1,53 @@
+"""Best-configuration and crossover analysis.
+
+The paper's §IV-C reports *crossover points*: the node count at which the
+best overdecomposition factor drops (e.g. Charm-H's best ODF goes 4 -> 2 at
+16 nodes, Charm-D's at 128 nodes).  These helpers compute the same from a
+family of per-ODF series.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .series import Series
+
+__all__ = ["best_label_per_x", "crossover_x", "speedup_series"]
+
+
+def best_label_per_x(series: dict[str, Series]) -> dict[float, str]:
+    """For each x present in all series, the label with the lowest y."""
+    if not series:
+        return {}
+    common = set.intersection(*(set(s.xs()) for s in series.values()))
+    out = {}
+    for x in sorted(common):
+        out[x] = min(series, key=lambda lb: series[lb].y_at(x))
+    return out
+
+
+def crossover_x(
+    series: dict[str, Series], from_label: str, to_label: str
+) -> Optional[float]:
+    """Smallest x where ``to_label`` beats ``from_label`` and stays at
+    least as good for all larger common x (None if never)."""
+    common = sorted(
+        set(series[from_label].xs()) & set(series[to_label].xs())
+    )
+    for i, x in enumerate(common):
+        if series[to_label].y_at(x) < series[from_label].y_at(x):
+            tail = common[i:]
+            if all(series[to_label].y_at(t) <= series[from_label].y_at(t) for t in tail):
+                return x
+    return None
+
+
+def speedup_series(baseline: Series, other: Series, label: Optional[str] = None) -> Series:
+    """Per-x speedup of ``other`` relative to ``baseline`` (>1 = faster)."""
+    out = Series(label or f"{baseline.label}/{other.label}")
+    for x in baseline.xs():
+        try:
+            out.add(x, baseline.y_at(x) / other.y_at(x))
+        except KeyError:
+            continue
+    return out

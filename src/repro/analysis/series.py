@@ -1,0 +1,89 @@
+"""Series containers for scaling studies and figure data."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional
+
+__all__ = ["Series", "FigureData"]
+
+
+@dataclass
+class Series:
+    """One curve: label + ``(x, y)`` points (+ free-form per-point meta)."""
+
+    label: str
+    points: list[tuple[float, float]] = field(default_factory=list)
+    meta: list[dict] = field(default_factory=list)
+
+    def add(self, x: float, y: float, **meta: Any) -> None:
+        self.points.append((x, y))
+        self.meta.append(meta)
+
+    def xs(self) -> list[float]:
+        return [p[0] for p in self.points]
+
+    def ys(self) -> list[float]:
+        return [p[1] for p in self.points]
+
+    def y_at(self, x: float) -> float:
+        for px, py in self.points:
+            if px == x:
+                return py
+        raise KeyError(f"no point at x={x} in series {self.label!r}")
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+@dataclass
+class FigureData:
+    """All series of one reproduced figure, plus provenance."""
+
+    figure_id: str
+    title: str
+    xlabel: str
+    ylabel: str
+    series: dict[str, Series] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def new_series(self, label: str) -> Series:
+        if label in self.series:
+            raise ValueError(f"duplicate series {label!r}")
+        s = Series(label)
+        self.series[label] = s
+        return s
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    # -- persistence -------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "figure_id": self.figure_id,
+            "title": self.title,
+            "xlabel": self.xlabel,
+            "ylabel": self.ylabel,
+            "series": {
+                label: {"points": s.points, "meta": s.meta} for label, s in self.series.items()
+            },
+            "notes": self.notes,
+        }
+
+    def save_json(self, path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FigureData":
+        fig = cls(d["figure_id"], d["title"], d["xlabel"], d["ylabel"], notes=list(d["notes"]))
+        for label, sd in d["series"].items():
+            s = fig.new_series(label)
+            s.points = [tuple(p) for p in sd["points"]]
+            s.meta = list(sd["meta"])
+        return fig
+
+    @classmethod
+    def load_json(cls, path) -> "FigureData":
+        return cls.from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,23 @@
+"""Applications built on the runtime: Jacobi3D and its decomposition."""
+
+from .decomposition import BlockGeometry, factor_triples, partition_dims
+from .jacobi3d import (
+    VERSIONS,
+    AppContext,
+    BlockData,
+    Jacobi3DConfig,
+    Jacobi3DResult,
+    run_jacobi3d,
+)
+
+__all__ = [
+    "BlockGeometry",
+    "factor_triples",
+    "partition_dims",
+    "VERSIONS",
+    "AppContext",
+    "BlockData",
+    "Jacobi3DConfig",
+    "Jacobi3DResult",
+    "run_jacobi3d",
+]

@@ -1,0 +1,28 @@
+"""Jacobi3D: the paper's proxy application, in four versions.
+
+* ``mpi-h`` — MPI with application-level host staging
+* ``mpi-d`` — CUDA-aware MPI
+* ``charm-h`` — Charm++ with host staging (+ automatic overlap via ODF)
+* ``charm-d`` — Charm++ with GPU-aware communication (Channel API)
+
+plus kernel-fusion strategies A/B/C, CUDA Graphs, the legacy
+pre-optimization baseline of Fig. 6, and a manual-overlap MPI extension.
+"""
+
+from .charm_app import make_block_class
+from .config import VERSIONS, Jacobi3DConfig, Jacobi3DResult
+from .context import AppContext, BlockData, MetricsCollector
+from .driver import run_jacobi3d
+from .mpi_app import make_rank_class
+
+__all__ = [
+    "make_block_class",
+    "VERSIONS",
+    "Jacobi3DConfig",
+    "Jacobi3DResult",
+    "AppContext",
+    "BlockData",
+    "MetricsCollector",
+    "run_jacobi3d",
+    "make_rank_class",
+]

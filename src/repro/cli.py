@@ -1,0 +1,167 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``run``
+    One Jacobi3D configuration; prints the result summary and metrics.
+``figure``
+    Regenerate one of the paper's figures (``6a 6b 7a 7b 7c 8 9``); prints
+    the table/chart and the shape-claim verdicts; optional JSON output.
+``sweep``
+    Overdecomposition-factor sweep at a fixed node count.
+``protocols``
+    Compare the Charm++ communication mechanisms across message sizes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis import render_figure
+from .apps import Jacobi3DConfig, run_jacobi3d
+from .core import (
+    FULL_NODES,
+    QUICK_NODES,
+    check_figure6,
+    check_figure7a,
+    check_figure7b,
+    check_figure7c,
+    check_figure8,
+    check_figure9,
+    comm_api_comparison,
+    figure6,
+    figure7a,
+    figure7b,
+    figure7c,
+    figure8,
+    figure9,
+    odf_sweep,
+    render_claims,
+)
+
+__all__ = ["main"]
+
+_FIGURES = {
+    "6a": (lambda **kw: figure6(mode="weak", **kw), check_figure6, "fig6"),
+    "6b": (lambda **kw: figure6(mode="strong", **kw), check_figure6, "fig6b"),
+    "7a": (figure7a, check_figure7a, "fig7a"),
+    "7b": (figure7b, check_figure7b, "fig7b"),
+    "7c": (figure7c, check_figure7c, "fig7c"),
+    "8": (figure8, check_figure8, "fig8"),
+    "9": (figure9, check_figure9, "fig9"),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GPU-aware asynchronous tasks (Choi et al., IPDPSW'22), in simulation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one Jacobi3D configuration")
+    run_p.add_argument("--version", default="charm-d",
+                       choices=["mpi-h", "mpi-d", "charm-h", "charm-d"])
+    run_p.add_argument("--nodes", type=int, default=1)
+    run_p.add_argument("--grid", type=int, nargs=3, default=[192, 192, 192],
+                       metavar=("X", "Y", "Z"))
+    run_p.add_argument("--odf", type=int, default=1)
+    run_p.add_argument("--iterations", type=int, default=10)
+    run_p.add_argument("--warmup", type=int, default=1)
+    run_p.add_argument("--fusion", choices=["A", "B", "C"], default=None)
+    run_p.add_argument("--graphs", action="store_true", help="use CUDA Graphs")
+    run_p.add_argument("--legacy", action="store_true",
+                       help="pre-optimization baseline (Fig. 6)")
+    run_p.add_argument("--functional", action="store_true",
+                       help="real NumPy data (small grids only)")
+
+    fig_p = sub.add_parser("figure", help="regenerate a paper figure")
+    fig_p.add_argument("id", choices=sorted(_FIGURES))
+    fig_p.add_argument("--nodes", type=int, nargs="+", default=None)
+    fig_p.add_argument("--full", action="store_true", help="paper-scale node ladder")
+    fig_p.add_argument("--save", metavar="PATH", default=None, help="write series JSON")
+    fig_p.add_argument("--no-plot", action="store_true")
+    fig_p.add_argument("--quiet", action="store_true", help="no per-point progress")
+
+    sweep_p = sub.add_parser("sweep", help="overdecomposition-factor sweep")
+    sweep_p.add_argument("--base", type=int, default=1536,
+                         help="per-node cubic grid edge (default 1536)")
+    sweep_p.add_argument("--nodes", type=int, default=8)
+    sweep_p.add_argument("--odfs", type=int, nargs="+", default=[1, 2, 4, 8, 16])
+
+    sub.add_parser("protocols", help="compare communication mechanisms")
+    return parser
+
+
+def _cmd_run(args) -> int:
+    config = Jacobi3DConfig(
+        version=args.version,
+        nodes=args.nodes,
+        grid=tuple(args.grid),
+        odf=args.odf,
+        iterations=args.iterations,
+        warmup=args.warmup,
+        fusion=args.fusion,
+        cuda_graphs=args.graphs,
+        legacy_sync=args.legacy,
+        data_mode="functional" if args.functional else "modeled",
+    )
+    result = run_jacobi3d(config)
+    print(result.summary())
+    print(f"  time/iteration : {result.time_per_iteration * 1e6:12.2f} us")
+    print(f"  total time     : {result.total_time * 1e3:12.3f} ms")
+    print(f"  GPU utilization: {result.gpu_utilization * 100:12.1f} %")
+    print(f"  overlap        : {result.overlap_s * 1e3:12.3f} ms")
+    print(f"  messages/bytes : {result.messages_sent} / {result.bytes_sent / 2**20:.1f} MiB")
+    print(f"  largest halo   : {result.max_halo_bytes / 1024:.0f} KiB")
+    for proto, count in sorted(result.protocol_counts.items(), key=lambda kv: kv[0].value):
+        print(f"  protocol {proto.value:16s}: {count}")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    generate, check, ladder_key = _FIGURES[args.id]
+    nodes = args.nodes
+    if nodes is None:
+        nodes = (FULL_NODES if args.full else QUICK_NODES)[ladder_key]
+    progress = None if args.quiet else lambda line: print(f"  {line}", file=sys.stderr)
+    fig = generate(nodes=nodes, progress=progress)
+    print(render_figure(fig, plot=not args.no_plot))
+    claims = check(fig)
+    print(render_claims(claims))
+    if args.save:
+        fig.save_json(args.save)
+        print(f"series written to {args.save}")
+    return 0 if all(c.ok for c in claims) else 1
+
+
+def _cmd_sweep(args) -> int:
+    fig = odf_sweep(base=(args.base,) * 3, nodes=args.nodes, odfs=args.odfs)
+    print(render_figure(fig, plot=False))
+    for label, series in fig.series.items():
+        best = min(zip(series.ys(), series.xs()))[1]
+        print(f"best ODF for {label}: {best:g}")
+    return 0
+
+
+def _cmd_protocols(_args) -> int:
+    fig = comm_api_comparison()
+    print(render_figure(fig, plot=False))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "figure": _cmd_figure,
+        "sweep": _cmd_sweep,
+        "protocols": _cmd_protocols,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

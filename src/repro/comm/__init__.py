@@ -1,0 +1,19 @@
+"""Communication layer: UCX-like protocols over the simulated network.
+
+:class:`UcxContext` provides matched two-sided transfers used by both the
+MPI model and the Charm++ Channel API; :func:`select_protocol` implements
+the size/location-based protocol choice responsible for the paper's
+Fig. 7a/7b behaviour differences.
+"""
+
+from .protocols import Protocol, select_protocol
+from .ucx import PRIORITY_COMM, PRIORITY_COMPUTE, TransferHandle, UcxContext
+
+__all__ = [
+    "Protocol",
+    "select_protocol",
+    "PRIORITY_COMM",
+    "PRIORITY_COMPUTE",
+    "TransferHandle",
+    "UcxContext",
+]

@@ -1,0 +1,59 @@
+"""Protocol selection for the UCX-like communication engine.
+
+Mirrors the behaviour the paper observed on Summit (§IV-B):
+
+* small messages (≤ 8 KiB): **eager**, staged through pre-registered bounce
+  buffers;
+* medium device buffers (≤ 1 MiB): **rendezvous + GPUDirect RDMA**, moving
+  bytes NIC<->GPU directly — the fast path that makes Fig. 7b's 96 KiB halos
+  win big;
+* large device buffers (> 1 MiB): **rendezvous + pipelined host staging** —
+  the slow path responsible for Fig. 7a's inversion at 9 MB halos;
+* host buffers above the eager threshold: plain **host rendezvous**.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from ..hardware.specs import UcxSpec
+
+__all__ = ["Protocol", "select_protocol"]
+
+
+class Protocol(Enum):
+    """Wire protocols, named after their UCX equivalents."""
+
+    EAGER = "eager"
+    RNDV_HOST = "rndv_host"
+    RNDV_GPUDIRECT = "rndv_gpudirect"
+    RNDV_PIPELINED = "rndv_pipelined"
+    DEVICE_IPC = "device_ipc"
+
+
+def select_protocol(
+    spec: UcxSpec, size: int, on_device: bool, same_node: bool = False
+) -> Protocol:
+    """Choose the protocol for a ``size``-byte message.
+
+    ``on_device`` describes the *source* buffer; in all the paper's
+    workloads sender and receiver buffers live in the same kind of memory.
+    ``same_node`` device transfers use CUDA-IPC-style peer access over the
+    node-internal fabric — never the NIC and never host staging.
+    """
+    if size < 0:
+        raise ValueError(f"negative message size {size}")
+    if size <= spec.eager_threshold:
+        return Protocol.EAGER
+    if not on_device:
+        return Protocol.RNDV_HOST
+    if size > spec.device_pipeline_threshold:
+        # Large device buffers are staged through host bounce buffers
+        # *regardless of locality*: on Summit not every GPU pair has a peer
+        # path (cross-socket pairs have no NVLink), so UCX pipelines big
+        # device messages through the host even within a node — the
+        # mechanism behind the paper's 2-node Charm-D degradation.
+        return Protocol.RNDV_PIPELINED
+    if same_node:
+        return Protocol.DEVICE_IPC
+    return Protocol.RNDV_GPUDIRECT

@@ -1,0 +1,59 @@
+"""The paper's experiments: figure generators, shape checks, microbenches.
+
+* :mod:`repro.core.figures` — one entry point per paper figure.
+* :mod:`repro.core.expectations` — the shape claims each figure must show.
+* :mod:`repro.core.microbench` — communication-mechanism comparisons.
+"""
+
+from .expectations import (
+    Claim,
+    check_figure6,
+    check_figure7a,
+    check_figure7b,
+    check_figure7c,
+    check_figure8,
+    check_figure9,
+    check_odf_sweep,
+    render_claims,
+)
+from .figures import (
+    FULL_NODES,
+    QUICK_NODES,
+    figure6,
+    figure7a,
+    figure7b,
+    figure7c,
+    figure8,
+    figure9,
+    iterations_for,
+    odf_sweep,
+    strong_grid,
+    weak_grid,
+)
+from .microbench import DEFAULT_SIZES, comm_api_comparison
+
+__all__ = [
+    "Claim",
+    "check_figure6",
+    "check_figure7a",
+    "check_figure7b",
+    "check_figure7c",
+    "check_figure8",
+    "check_figure9",
+    "check_odf_sweep",
+    "render_claims",
+    "FULL_NODES",
+    "QUICK_NODES",
+    "figure6",
+    "figure7a",
+    "figure7b",
+    "figure7c",
+    "figure8",
+    "figure9",
+    "iterations_for",
+    "odf_sweep",
+    "strong_grid",
+    "weak_grid",
+    "DEFAULT_SIZES",
+    "comm_api_comparison",
+]

@@ -1,0 +1,299 @@
+"""Shape checks: does a reproduced figure show what the paper's does?
+
+We do not chase the paper's absolute milliseconds (our substrate is a
+simulator, not Summit); we check the *shape claims* the paper makes —
+who wins, where curves cross, how gaps trend.  Each checker returns
+:class:`Claim` records; benches print them and integration tests assert
+them on reduced node ladders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis import FigureData, Series, crossover_x
+
+__all__ = [
+    "Claim",
+    "check_figure6",
+    "check_figure7a",
+    "check_figure7b",
+    "check_figure7c",
+    "check_figure8",
+    "check_figure9",
+    "check_odf_sweep",
+    "render_claims",
+]
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One checked statement about a figure."""
+
+    name: str
+    ok: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return f"[{'PASS' if self.ok else 'FAIL'}] {self.name}" + (
+            f" — {self.detail}" if self.detail else ""
+        )
+
+
+def render_claims(claims: list[Claim]) -> str:
+    return "\n".join(str(c) for c in claims)
+
+
+def _last_x(fig: FigureData) -> float:
+    return max(x for s in fig.series.values() for x in s.xs())
+
+
+def _ratio(series: Series) -> float:
+    """last-y / first-y — the 'incline' of a weak-scaling curve."""
+    return series.ys()[-1] / series.ys()[0]
+
+
+# ---------------------------------------------------------------------------
+
+
+def check_figure6(fig: FigureData) -> list[Claim]:
+    legacy, opt = fig.series["charm-h legacy"], fig.series["charm-h optimized"]
+    everywhere = all(
+        opt.y_at(x) <= legacy.y_at(x) * 1.02 for x in opt.xs()
+    )
+    gap_first = legacy.ys()[0] / opt.ys()[0]
+    gap_last = legacy.ys()[-1] / opt.ys()[-1]
+    return [
+        Claim("optimized never slower than legacy", everywhere),
+        Claim(
+            "optimization gain does not vanish at scale",
+            gap_last >= 0.95 * gap_first,
+            f"gain {gap_first:.3f}x at {opt.xs()[0]:g} nodes -> {gap_last:.3f}x at "
+            f"{opt.xs()[-1]:g} nodes",
+        ),
+    ]
+
+
+def _series_by_prefix(fig: FigureData, prefix: str) -> Series:
+    for label, s in fig.series.items():
+        if label.startswith(prefix):
+            return s
+    raise KeyError(f"no series starting with {prefix!r} in {list(fig.series)}")
+
+
+def check_figure7a(fig: FigureData) -> list[Claim]:
+    mpi_h = _series_by_prefix(fig, "MPI-H")
+    mpi_d = _series_by_prefix(fig, "MPI-D")
+    ch = _series_by_prefix(fig, "Charm-H")
+    cd = _series_by_prefix(fig, "Charm-D")
+    last = _last_x(fig)
+    claims = [
+        Claim(
+            "overlap wins: Charm-H beats MPI-H at scale",
+            ch.y_at(last) < mpi_h.y_at(last),
+            f"{ch.y_at(last) * 1e3:.2f} vs {mpi_h.y_at(last) * 1e3:.2f} ms/iter",
+        ),
+        Claim(
+            "GPU-aware degrades for Charm from 2 nodes (pipelined staging)",
+            all(cd.y_at(x) > ch.y_at(x) for x in cd.xs() if x >= 2),
+        ),
+        Claim(
+            "GPU-aware degrades for MPI at scale (>= 8 nodes)",
+            all(mpi_d.y_at(x) > mpi_h.y_at(x) for x in mpi_d.xs() if x >= 8),
+        ),
+    ]
+    if last >= 32:
+        # The flatter-incline claim is about growth across decades of nodes;
+        # below ~32 nodes both curves are still compute-dominated.
+        claims.append(
+            Claim(
+                "Charm incline flatter than MPI (overlap tolerates comm growth)",
+                _ratio(ch) <= _ratio(mpi_h) * 1.02,
+                f"Charm-H x{_ratio(ch):.3f} vs MPI-H x{_ratio(mpi_h):.3f}",
+            )
+        )
+    if last >= 64:
+        # "The performance gap between Charm-H and Charm-D is larger than
+        # that between MPI-H and MPI-D" (§IV-B) — overdecomposition stacks
+        # more concurrent pipelined transfers.  A large-scale effect: the
+        # inter-node share of halo traffic must dominate first.
+        charm_gap = cd.y_at(last) / ch.y_at(last)
+        mpi_gap = mpi_d.y_at(last) / mpi_h.y_at(last)
+        claims.append(
+            Claim(
+                "Charm D-vs-H gap exceeds MPI's at scale (stacked slowdown)",
+                charm_gap > mpi_gap,
+                f"Charm x{charm_gap:.2f} vs MPI x{mpi_gap:.2f} at {last:g} nodes",
+            )
+        )
+    return claims
+
+
+def check_figure7b(fig: FigureData) -> list[Claim]:
+    mpi_h = _series_by_prefix(fig, "MPI-H")
+    mpi_d = _series_by_prefix(fig, "MPI-D")
+    ch = _series_by_prefix(fig, "Charm-H")
+    cd = _series_by_prefix(fig, "Charm-D")
+    return [
+        Claim(
+            "GPU-aware wins for MPI at every node count (96 KB halos)",
+            all(mpi_d.y_at(x) < mpi_h.y_at(x) for x in mpi_d.xs()),
+        ),
+        Claim(
+            "GPU-aware wins for Charm at every node count",
+            all(cd.y_at(x) < ch.y_at(x) for x in cd.xs()),
+        ),
+        Claim(
+            "sub-millisecond iterations throughout (tiny problem)",
+            all(y < 1e-3 for s in fig.series.values() for y in s.ys()),
+        ),
+    ]
+
+
+def check_figure7c(fig: FigureData, odf_candidates=(1, 2, 4)) -> list[Claim]:
+    last = _last_x(fig)
+    cd_best = fig.series["Charm-D (best ODF)"]
+    ch_best = fig.series["Charm-H (best ODF)"]
+    mpi_h = fig.series["MPI-H"]
+    mpi_d = fig.series["MPI-D"]
+    claims = [
+        Claim(
+            "Charm-H beats both MPI versions (overlap alone)",
+            ch_best.y_at(last) < min(mpi_h.y_at(last), mpi_d.y_at(last)),
+        ),
+    ]
+    if last >= 128:
+        # Below ~128 nodes the 3072³ halos are still above the 1 MiB
+        # pipeline threshold, so Charm-D pays the staging penalty; the paper's
+        # "Charm-D wins and scales furthest" claim is a large-scale claim.
+        claims.append(
+            Claim(
+                "Charm-D (best ODF) is the fastest version at the largest scale",
+                cd_best.y_at(last)
+                <= min(ch_best.y_at(last), mpi_h.y_at(last), mpi_d.y_at(last)),
+                f"{cd_best.y_at(last) * 1e3:.3f} ms/iter at {last:g} nodes",
+            )
+        )
+    else:
+        claims.append(
+            Claim(
+                "Charm-D competitive before the GPUDirect regime (within 25% "
+                "of Charm-H, ahead of MPI-D)",
+                cd_best.y_at(last) <= ch_best.y_at(last) * 1.25
+                and cd_best.y_at(last) < mpi_d.y_at(last),
+            )
+        )
+    # ODF crossover: the best ODF for Charm-D stays high longer than Charm-H.
+    ch_odf = {lb: s for lb, s in fig.series.items() if lb.startswith("Charm-H ODF")}
+    cd_odf = {lb: s for lb, s in fig.series.items() if lb.startswith("Charm-D ODF")}
+    if len(ch_odf) >= 2 and len(cd_odf) >= 2:
+        hi, lo = max(odf_candidates), sorted(odf_candidates)[-2]
+        ch_cross = crossover_x(ch_odf, f"Charm-H ODF-{hi}", f"Charm-H ODF-{lo}")
+        cd_cross = crossover_x(cd_odf, f"Charm-D ODF-{hi}", f"Charm-D ODF-{lo}")
+        detail = f"Charm-H ODF{hi}->ODF{lo} at {ch_cross}, Charm-D at {cd_cross}"
+        # The paper's claim: Charm-D's best ODF stays high to larger node
+        # counts than Charm-H's.  "No crossover within the ladder" means the
+        # high ODF was sustained throughout — which satisfies the claim
+        # whenever Charm-H crossed (or also sustained).
+        ok = (cd_cross is None) or (ch_cross is not None and cd_cross >= ch_cross)
+        claims.append(
+            Claim("GPU-aware sustains high ODF at least as far as host-staging",
+                  ok, detail)
+        )
+    if last >= 512:
+        claims.append(
+            Claim(
+                "sub-millisecond time/iter at 512 nodes (paper's headline)",
+                cd_best.y_at(512) < 1e-3,
+                f"{cd_best.y_at(512) * 1e3:.3f} ms",
+            )
+        )
+    return claims
+
+
+def check_figure8(fig: FigureData, odfs=(1, 8)) -> list[Claim]:
+    last = _last_x(fig)
+    claims = []
+    order = ["baseline", "fusion-A", "fusion-B", "fusion-C"]
+    for odf in odfs:
+        ys = [fig.series[f"ODF-{odf} {name}"].y_at(last) for name in order]
+        detail = " ".join(f"{name}={y * 1e6:.0f}us" for name, y in zip(order, ys))
+        # The paper: at ODF-1, "kernel fusion does not noticeably affect
+        # performance until about 16 nodes" — the ordering claim only holds
+        # once launches dominate (>= 32 nodes); below that fusion must
+        # merely be neutral.
+        if odf == 1 and last < 32:
+            claims.append(
+                Claim(
+                    "ODF-1: fusion neutral before the launch-bound regime (<32 nodes)",
+                    max(ys) <= min(ys) * 1.12,
+                    detail,
+                )
+            )
+        else:
+            claims.append(
+                Claim(
+                    f"ODF-{odf}: more aggressive fusion is faster at scale (C<=B<=A<=base)",
+                    all(ys[i + 1] <= ys[i] * 1.02 for i in range(3)),
+                    detail,
+                )
+            )
+    if set(odfs) >= {1, 8}:
+        gain1 = fig.series["ODF-1 baseline"].y_at(last) / fig.series["ODF-1 fusion-C"].y_at(last)
+        gain8 = fig.series["ODF-8 baseline"].y_at(last) / fig.series["ODF-8 fusion-C"].y_at(last)
+        claims.append(
+            Claim(
+                "fusion gain larger under overdecomposition (ODF-8 > ODF-1)",
+                gain8 > gain1,
+                f"C-vs-baseline: {gain8:.2f}x at ODF-8 vs {gain1:.2f}x at ODF-1",
+            )
+        )
+    return claims
+
+
+def check_figure9(fig: FigureData) -> list[Claim]:
+    last = _last_x(fig)
+    claims = []
+    if "ODF-8 baseline" in fig.series and "ODF-1 baseline" in fig.series:
+        s8 = fig.series["ODF-8 baseline"].y_at(last)
+        s1 = fig.series["ODF-1 baseline"].y_at(last)
+        claims.append(
+            Claim(
+                "graphs help more at ODF-8 (CPU busy with launches) than ODF-1",
+                s8 > s1,
+                f"{s8:.2f}x vs {s1:.2f}x at {last:g} nodes",
+            )
+        )
+    if "ODF-8 baseline" in fig.series and "ODF-8 fusion-C" in fig.series:
+        base = fig.series["ODF-8 baseline"].y_at(last)
+        fused = fig.series["ODF-8 fusion-C"].y_at(last)
+        claims.append(
+            Claim(
+                "fusion shrinks the graphs benefit (fewer launches to amortize)",
+                fused <= base,
+                f"no-fusion {base:.2f}x vs fusion-C {fused:.2f}x",
+            )
+        )
+    claims.append(
+        Claim(
+            "graphs never hurt meaningfully",
+            all(y > 0.97 for s in fig.series.values() for y in s.ys()),
+        )
+    )
+    return claims
+
+
+def check_odf_sweep(fig: FigureData, expected_best: dict[str, tuple[int, ...]]) -> list[Claim]:
+    """``expected_best``: version label -> acceptable best-ODF values."""
+    claims = []
+    for label, acceptable in expected_best.items():
+        series = fig.series[label]
+        best_odf = min(zip(series.ys(), series.xs()))[1]
+        claims.append(
+            Claim(
+                f"{label}: best ODF in {acceptable}",
+                best_odf in acceptable,
+                f"best ODF = {best_odf:g}",
+            )
+        )
+    return claims

@@ -1,0 +1,323 @@
+"""Reproduction entry points for every figure in the paper's evaluation.
+
+Each ``figure*`` function runs the simulated experiments behind one paper
+figure and returns a :class:`~repro.analysis.series.FigureData` whose series
+mirror the paper's curves.  Node ladders default to a laptop-friendly
+*quick* range; pass ``nodes=FULL_NODES[...]`` (or any list) for paper scale.
+
+The paper's evaluation protocol (§IV-A) is followed throughout: one PE/GPU
+per process, best-ODF selection where the paper selects best ODF, 10+100
+iterations on Summit — reduced here (the model is steady-state after one
+iteration; ``tests/apps/test_steady_state.py`` verifies that).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence
+
+from ..apps import Jacobi3DConfig, Jacobi3DResult, run_jacobi3d
+from ..analysis import FigureData, Series
+from ..hardware import MachineSpec
+from ..kernels.fusion import FusionStrategy
+
+__all__ = [
+    "QUICK_NODES",
+    "FULL_NODES",
+    "weak_grid",
+    "strong_grid",
+    "iterations_for",
+    "figure6",
+    "figure7a",
+    "figure7b",
+    "figure7c",
+    "figure8",
+    "figure9",
+    "odf_sweep",
+]
+
+#: Reduced node ladders: fast enough for CI-style runs, still showing shapes.
+QUICK_NODES = {
+    "fig6": (1, 2, 4, 8, 16),
+    "fig6b": (8, 16, 32),
+    "fig7a": (1, 2, 4, 8, 16),
+    "fig7b": (1, 2, 4, 8, 16),
+    "fig7c": (8, 16, 32),
+    "fig8": (1, 2, 4, 8, 16),
+    "fig9": (1, 4, 16),
+}
+
+#: Paper-scale ladders (tens of minutes of wall clock; EXPERIMENTS.md).
+#: The paper's x-axes extend further (e.g. 256 nodes in Fig. 7a, 128 in
+#: Figs. 8-9); our launch/communication regimes arrive at smaller node
+#: counts, so the trimmed ladders already cover every regime transition —
+#: see EXPERIMENTS.md for the mapping.
+FULL_NODES = {
+    "fig6": (1, 2, 4, 8, 16, 32, 64),
+    "fig6b": (8, 16, 32, 64, 128),
+    "fig7a": (1, 2, 4, 8, 16, 32, 64, 128),
+    "fig7b": (1, 2, 4, 8, 16, 32, 64, 128),
+    "fig7c": (8, 16, 32, 64, 128, 256, 512),
+    "fig8": (1, 2, 4, 8, 16, 32, 64),
+    "fig9": (1, 4, 16, 64),
+}
+
+ProgressFn = Callable[[str], None]
+
+
+def weak_grid(base: Sequence[int], nodes: int) -> tuple[int, int, int]:
+    """Weak-scaling global grid: double one dimension per node doubling
+    (paper §IV-B), so 8 nodes of 1536³/node = a 3072³ global grid."""
+    if nodes < 1 or nodes & (nodes - 1):
+        raise ValueError(f"weak scaling needs a power-of-two node count, got {nodes}")
+    dims = [int(d) for d in base]
+    axis = len(dims) - 1
+    n = nodes
+    while n > 1:
+        dims[axis] *= 2
+        axis = (axis - 1) % len(dims)
+        n //= 2
+    return tuple(dims)  # type: ignore[return-value]
+
+
+def strong_grid(size: int = 3072) -> tuple[int, int, int]:
+    """The paper's strong-scaling grid (3072³ by default)."""
+    return (size, size, size)
+
+
+def iterations_for(nodes: int) -> tuple[int, int]:
+    """(iterations, warmup) per point: the model is steady-state after one
+    iteration, so large simulations use fewer measured iterations."""
+    if nodes <= 16:
+        return 6, 1
+    if nodes <= 64:
+        return 4, 1
+    return 3, 1
+
+
+def _run(cfg: Jacobi3DConfig, progress: Optional[ProgressFn]) -> Jacobi3DResult:
+    result = run_jacobi3d(cfg)
+    if progress:
+        progress(result.summary())
+    return result
+
+
+def _config(version, nodes, grid, machine, odf=1, **kw) -> Jacobi3DConfig:
+    iters, warm = iterations_for(nodes)
+    return Jacobi3DConfig(
+        version=version, nodes=nodes, grid=grid, odf=odf,
+        iterations=kw.pop("iterations", iters), warmup=kw.pop("warmup", warm),
+        machine=machine or MachineSpec.summit(), **kw,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: baseline optimizations (legacy vs optimized Charm-H, ODF 4)
+# ---------------------------------------------------------------------------
+
+
+def figure6(
+    mode: str = "weak",
+    nodes: Optional[Iterable[int]] = None,
+    machine: Optional[MachineSpec] = None,
+    progress: Optional[ProgressFn] = None,
+) -> FigureData:
+    """Fig. 6: Charm-H before/after the §III-C optimizations (one host sync
+    per iteration + split high-priority copy streams), at ODF 4.
+
+    ``mode``: ``"weak"`` (1536³ per node) or ``"strong"`` (3072³ global).
+    """
+    if mode not in ("weak", "strong"):
+        raise ValueError("mode must be 'weak' or 'strong'")
+    # Strong scaling of 3072^3 needs >= 8 nodes to fit in GPU memory.
+    nodes = tuple(nodes or QUICK_NODES["fig6" if mode == "weak" else "fig6b"])
+    fig = FigureData(
+        figure_id=f"fig6{'a' if mode == 'weak' else 'b'}",
+        title=f"Baseline optimizations, {mode} scaling (Charm-H, ODF 4)",
+        xlabel="nodes",
+        ylabel="time/iter (s)",
+    )
+    legacy = fig.new_series("charm-h legacy")
+    optimized = fig.new_series("charm-h optimized")
+    for n in nodes:
+        grid = weak_grid((1536, 1536, 1536), n) if mode == "weak" else strong_grid()
+        for series, legacy_flag in ((legacy, True), (optimized, False)):
+            cfg = _config("charm-h", n, grid, machine, odf=4, legacy_sync=legacy_flag)
+            res = _run(cfg, progress)
+            series.add(n, res.time_per_iteration, util=res.gpu_utilization)
+    return fig
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: weak and strong scaling of the four versions
+# ---------------------------------------------------------------------------
+
+
+def _four_versions(
+    fig: FigureData,
+    nodes: Iterable[int],
+    grid_for,
+    machine,
+    charm_odf: int,
+    progress,
+    gpu_aware_odf: Optional[int] = None,
+) -> None:
+    for label, version, odf in (
+        ("MPI-H", "mpi-h", 1),
+        ("MPI-D", "mpi-d", 1),
+        (f"Charm-H (ODF {charm_odf})", "charm-h", charm_odf),
+        (f"Charm-D (ODF {gpu_aware_odf or charm_odf})", "charm-d", gpu_aware_odf or charm_odf),
+    ):
+        series = fig.new_series(label)
+        for n in nodes:
+            cfg = _config(version, n, grid_for(n), machine, odf=odf)
+            res = _run(cfg, progress)
+            series.add(n, res.time_per_iteration, util=res.gpu_utilization,
+                       max_halo=res.max_halo_bytes)
+
+
+def figure7a(nodes=None, machine=None, progress=None) -> FigureData:
+    """Fig. 7a: weak scaling, 1536³ per node (up to ~9 MB halos).  Charm
+    versions at ODF 4 (the paper's best); GPU-aware communication *degrades*
+    here because of the pipelined-host-staging protocol."""
+    nodes = tuple(nodes or QUICK_NODES["fig7a"])
+    fig = FigureData("fig7a", "Weak scaling, 1536^3 per node", "nodes", "time/iter (s)")
+    _four_versions(fig, nodes, lambda n: weak_grid((1536, 1536, 1536), n), machine, 4, progress)
+    return fig
+
+
+def figure7b(nodes=None, machine=None, progress=None) -> FigureData:
+    """Fig. 7b: weak scaling, 192³ per node (≤ 96 KB halos).  GPU-aware
+    communication wins big; ODF 1 is best (overheads beat overlap)."""
+    nodes = tuple(nodes or QUICK_NODES["fig7b"])
+    fig = FigureData("fig7b", "Weak scaling, 192^3 per node", "nodes", "time/iter (s)")
+    _four_versions(fig, nodes, lambda n: weak_grid((192, 192, 192), n), machine, 1, progress)
+    return fig
+
+
+def figure7c(
+    nodes=None,
+    machine=None,
+    progress=None,
+    odf_candidates: Sequence[int] = (1, 2, 4),
+) -> FigureData:
+    """Fig. 7c: strong scaling of a 3072³ grid (node counts start at 8 —
+    below that the grid physically exceeds GPU memory).  Charm versions
+    report their best ODF per point (like the paper); per-ODF series are
+    kept so the ODF-crossover analysis (§IV-C) can run on the same data."""
+    nodes = tuple(nodes or QUICK_NODES["fig7c"])
+    fig = FigureData("fig7c", "Strong scaling, 3072^3 global grid", "nodes", "time/iter (s)")
+    grid = strong_grid()
+    for label, version in (("MPI-H", "mpi-h"), ("MPI-D", "mpi-d")):
+        series = fig.new_series(label)
+        for n in nodes:
+            res = _run(_config(version, n, grid, machine), progress)
+            series.add(n, res.time_per_iteration)
+    for label, version in (("Charm-H", "charm-h"), ("Charm-D", "charm-d")):
+        best = fig.new_series(f"{label} (best ODF)")
+        per_odf = {odf: fig.new_series(f"{label} ODF-{odf}") for odf in odf_candidates}
+        for n in nodes:
+            results = {}
+            for odf in odf_candidates:
+                if n >= 256 and odf > 2:
+                    # At 256+ nodes high ODF is never competitive and the
+                    # simulation cost is quadratic in chare count; skip.
+                    continue
+                res = _run(_config(version, n, grid, machine, odf=odf), progress)
+                per_odf[odf].add(n, res.time_per_iteration)
+                results[odf] = res
+            best_odf = min(results, key=lambda o: results[o].time_per_iteration)
+            best.add(n, results[best_odf].time_per_iteration, odf=best_odf)
+    return fig
+
+
+# ---------------------------------------------------------------------------
+# Figures 8 and 9: kernel fusion and CUDA Graphs (768³ strong scaling)
+# ---------------------------------------------------------------------------
+
+_FUSION_LABEL = {
+    FusionStrategy.NONE: "baseline",
+    FusionStrategy.A: "fusion-A",
+    FusionStrategy.B: "fusion-B",
+    FusionStrategy.C: "fusion-C",
+}
+
+
+def figure8(
+    nodes=None,
+    machine=None,
+    progress=None,
+    odfs: Sequence[int] = (1, 8),
+    strategies: Sequence[FusionStrategy] = tuple(FusionStrategy),
+) -> FigureData:
+    """Fig. 8: kernel-fusion strategies on GPU-aware Charm++ Jacobi3D,
+    768³ global grid, strong scaling, at ODF 1 and ODF 8."""
+    nodes = tuple(nodes or QUICK_NODES["fig8"])
+    fig = FigureData("fig8", "Kernel fusion, 768^3 strong scaling (Charm-D)",
+                     "nodes", "time/iter (s)")
+    grid = strong_grid(768)
+    for odf in odfs:
+        for strat in strategies:
+            series = fig.new_series(f"ODF-{odf} {_FUSION_LABEL[FusionStrategy.parse(strat)]}")
+            for n in nodes:
+                cfg = _config("charm-d", n, grid, machine, odf=odf, fusion=strat)
+                res = _run(cfg, progress)
+                series.add(n, res.time_per_iteration)
+    return fig
+
+
+def figure9(
+    nodes=None,
+    machine=None,
+    progress=None,
+    odfs: Sequence[int] = (1, 8),
+    strategies: Sequence[FusionStrategy] = (FusionStrategy.NONE, FusionStrategy.C),
+) -> FigureData:
+    """Fig. 9: speedup from CUDA Graphs (vs the same configuration without
+    graphs), with and without kernel fusion.  y > 1 means graphs help."""
+    nodes = tuple(nodes or QUICK_NODES["fig9"])
+    fig = FigureData("fig9", "CUDA Graphs speedup, 768^3 strong scaling (Charm-D)",
+                     "nodes", "speedup (x)")
+    grid = strong_grid(768)
+    for odf in odfs:
+        for strat in strategies:
+            strat = FusionStrategy.parse(strat)
+            series = fig.new_series(f"ODF-{odf} {_FUSION_LABEL[strat]}")
+            for n in nodes:
+                base = _run(_config("charm-d", n, grid, machine, odf=odf, fusion=strat),
+                            progress)
+                graph = _run(_config("charm-d", n, grid, machine, odf=odf, fusion=strat,
+                                     cuda_graphs=True), progress)
+                series.add(n, base.time_per_iteration / graph.time_per_iteration)
+    return fig
+
+
+# ---------------------------------------------------------------------------
+# §IV-B text: the ODF sweep
+# ---------------------------------------------------------------------------
+
+
+def odf_sweep(
+    base: Sequence[int] = (1536, 1536, 1536),
+    nodes: int = 8,
+    versions: Sequence[str] = ("charm-h", "charm-d"),
+    odfs: Sequence[int] = (1, 2, 4, 8, 16),
+    machine=None,
+    progress=None,
+) -> FigureData:
+    """Time/iteration vs ODF for the Charm++ versions (weak-scaled grid of
+    ``base`` per node).  Reproduces the §IV-B observations: ODF ≈ 4 best for
+    the 1536³ problem, ODF 1 best for 192³."""
+    grid = weak_grid(base, nodes)
+    fig = FigureData(
+        "odf_sweep",
+        f"ODF sweep, {base[0]}^3 per node on {nodes} nodes",
+        "ODF",
+        "time/iter (s)",
+    )
+    for version in versions:
+        series = fig.new_series(version)
+        for odf in odfs:
+            cfg = _config(version, nodes, grid, machine, odf=odf)
+            res = _run(cfg, progress)
+            series.add(odf, res.time_per_iteration, util=res.gpu_utilization)
+    return fig

@@ -1,0 +1,97 @@
+"""Communication-layer microbenchmarks (§II-B / §III-B context).
+
+``comm_api_comparison`` measures one-way halo-style latency between two
+chares on different nodes through the three Charm++ mechanisms the paper
+discusses:
+
+* **entry-method messages** (host staging path's transport),
+* the **GPU Messaging API** (post entry method on the receiver), and
+* the **Channel API** (two-sided, no control-flow transfer),
+
+across message sizes.  The paper's motivation for the Channel API — the
+post-entry-method delay — shows up directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ..analysis import FigureData
+from ..hardware import Cluster, KiB, MachineSpec
+from ..runtime import Chare, CharmRuntime
+from ..sim import Engine
+
+__all__ = ["comm_api_comparison", "DEFAULT_SIZES"]
+
+DEFAULT_SIZES = (1 * KiB, 8 * KiB, 64 * KiB, 512 * KiB, 4 * KiB * KiB)
+
+_REPS = 20
+
+
+def _measure(mechanism: str, size: int, machine: MachineSpec) -> float:
+    """Mean round-trip slot time of ``mechanism`` at ``size`` bytes.
+
+    Methodology is identical across mechanisms (fairness): the sender moves
+    the payload, the receiver acknowledges with a tiny entry message, and
+    the sender only starts the next repetition after the ack.  The ack leg
+    is a constant adder, so differences between mechanisms are exactly their
+    payload-path differences.
+    """
+    engine = Engine()
+    cluster = Cluster(engine, machine, 2)
+    runtime = CharmRuntime(cluster)
+    arrivals: list[float] = []
+
+    class Ping(Chare):
+        def run(self, msg):
+            other = (1 - self.index[0],)
+            sender = self.index[0] == 0
+            ch = self.channel_to(other) if mechanism == "channel" else None
+            for rep in range(_REPS):
+                if sender:
+                    if mechanism == "channel":
+                        ch.send(size, ref=rep)
+                        yield self.when("ch_send", ref=rep)
+                    elif mechanism == "gpu_messaging":
+                        self.gpu_send(other, "halo", size=size, ref=rep)
+                    else:
+                        self.send(other, "halo", ref=rep, data_bytes=size)
+                    yield self.when("ack", ref=rep)
+                else:
+                    if mechanism == "channel":
+                        ch.recv(size, ref=rep)
+                        yield self.when("ch_recv", ref=rep)
+                    else:
+                        yield self.when("halo", ref=rep)
+                    arrivals.append(self.runtime.engine.now)
+                    self.send(other, "ack", ref=rep, data_bytes=16)
+
+    # Map the two chares to different nodes so the NIC is exercised.
+    mapping = {(0,): 0, (1,): machine.node.pes_per_node}
+    array = runtime.create_array(Ping, shape=(2,), mapping=mapping)
+    array.broadcast("run")
+    runtime.run()
+    if len(arrivals) != _REPS:
+        raise RuntimeError(f"{mechanism}: expected {_REPS} arrivals, got {len(arrivals)}")
+    gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+    return sum(gaps) / len(gaps)
+
+
+def comm_api_comparison(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    machine: Optional[MachineSpec] = None,
+    mechanisms: Iterable[str] = ("entry_message", "gpu_messaging", "channel"),
+) -> FigureData:
+    """Latency-vs-size curves for the three communication mechanisms."""
+    machine = machine or MachineSpec.summit()
+    fig = FigureData(
+        "comm_apis",
+        "Charm++ communication mechanisms, inter-node one-way time",
+        "message bytes",
+        "time (s)",
+    )
+    for mech in mechanisms:
+        series = fig.new_series(mech)
+        for size in sizes:
+            series.add(size, _measure(mech, size, machine))
+    return fig

@@ -1,0 +1,72 @@
+"""Hardware models: GPUs, CUDA graphs, NICs, topology, nodes, clusters.
+
+This subpackage is the simulated stand-in for the paper's testbed (Summit):
+see DESIGN.md §2 for the substitution rationale and §5 for calibration.
+"""
+
+from .cluster import PE, Cluster, Node
+from .gpu import (
+    COMPUTE,
+    COPY_D2D,
+    COPY_D2H,
+    COPY_H2D,
+    CopyWork,
+    CudaEvent,
+    CudaStream,
+    GpuDevice,
+    GpuOp,
+    KernelWork,
+    WorkModel,
+)
+from .graphs import CudaGraph, GraphExec, GraphNode
+from .network import Message, Network
+from .specs import (
+    GiB,
+    GpuSpec,
+    HostLinkSpec,
+    KiB,
+    MachineSpec,
+    MiB,
+    MS,
+    NicSpec,
+    NodeSpec,
+    TopologySpec,
+    US,
+    UcxSpec,
+)
+from .topology import FatTree
+
+__all__ = [
+    "PE",
+    "Cluster",
+    "Node",
+    "COMPUTE",
+    "COPY_D2D",
+    "COPY_D2H",
+    "COPY_H2D",
+    "CopyWork",
+    "CudaEvent",
+    "CudaStream",
+    "GpuDevice",
+    "GpuOp",
+    "KernelWork",
+    "WorkModel",
+    "CudaGraph",
+    "GraphExec",
+    "GraphNode",
+    "Message",
+    "Network",
+    "FatTree",
+    "GiB",
+    "GpuSpec",
+    "HostLinkSpec",
+    "KiB",
+    "MachineSpec",
+    "MiB",
+    "MS",
+    "NicSpec",
+    "NodeSpec",
+    "TopologySpec",
+    "US",
+    "UcxSpec",
+]

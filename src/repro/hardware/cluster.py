@@ -1,0 +1,108 @@
+"""Nodes, PEs and the whole simulated cluster.
+
+A :class:`Cluster` instantiates, for ``n_nodes`` nodes of a
+:class:`~repro.hardware.specs.MachineSpec`:
+
+* one :class:`~repro.hardware.gpu.GpuDevice` per GPU,
+* one :class:`PE` per CPU core driving a GPU (the paper runs one process
+  per GPU in both MPI and non-SMP Charm++, so PEs and GPUs are 1:1),
+* a shared :class:`~repro.hardware.network.Network`.
+
+The PE object is deliberately thin: it is a *location* (indices, its GPU)
+plus a unit :class:`~repro.sim.Resource` representing the CPU core, which
+the runtime/MPI layers hold while executing entry methods, launching
+kernels, or paying per-message overheads.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..sim import Engine, IntervalTracker, Resource
+from .gpu import GpuDevice
+from .network import Network
+from .specs import MachineSpec
+
+__all__ = ["PE", "Node", "Cluster"]
+
+
+class PE:
+    """One processing element: a CPU core with a dedicated GPU."""
+
+    def __init__(self, engine: Engine, global_index: int, node_index: int,
+                 local_index: int, gpu: GpuDevice):
+        self.engine = engine
+        self.index = global_index
+        self.node_index = node_index
+        self.local_index = local_index
+        self.gpu = gpu
+        self.name = f"pe{global_index}"
+        self.core = Resource(engine, capacity=1, name=f"{self.name}.core")
+        self.busy = IntervalTracker(engine, f"{self.name}.busy")
+
+    def occupy(self, duration: float, priority: float = 0.0):
+        """Generator fragment: hold the core for ``duration`` seconds.
+
+        Usage inside a process: ``yield from pe.occupy(cost)``.
+        """
+        req = self.core.request(priority=priority)
+        yield req
+        token = self.busy.begin()
+        yield self.engine.timeout(duration)
+        self.busy.end(token)
+        self.core.release(req)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<PE {self.index} (node {self.node_index}.{self.local_index})>"
+
+
+class Node:
+    """One compute node: its GPUs and PEs."""
+
+    def __init__(self, engine: Engine, spec: MachineSpec, index: int, first_pe: int):
+        self.index = index
+        self.gpus = [
+            GpuDevice(engine, spec.node.gpu, spec.node.host_link, name=f"n{index}.gpu{g}")
+            for g in range(spec.node.gpus_per_node)
+        ]
+        self.pes = [
+            PE(engine, first_pe + g, index, g, self.gpus[g])
+            for g in range(spec.node.gpus_per_node)
+        ]
+
+
+class Cluster:
+    """The simulated machine: ``n_nodes`` nodes plus the network."""
+
+    def __init__(self, engine: Engine, spec: MachineSpec, n_nodes: int):
+        spec.validate_nodes(n_nodes)
+        self.engine = engine
+        self.spec = spec
+        self.n_nodes = n_nodes
+        per = spec.node.pes_per_node
+        self.nodes = [Node(engine, spec, i, i * per) for i in range(n_nodes)]
+        self.network = Network(engine, spec, n_nodes, per)
+
+    @property
+    def n_pes(self) -> int:
+        return self.n_nodes * self.spec.node.pes_per_node
+
+    @property
+    def n_gpus(self) -> int:
+        return self.n_pes
+
+    def pe(self, index: int) -> PE:
+        per = self.spec.node.pes_per_node
+        return self.nodes[index // per].pes[index % per]
+
+    def gpu(self, pe_index: int) -> GpuDevice:
+        return self.pe(pe_index).gpu
+
+    def all_pes(self) -> Iterator[PE]:
+        for node in self.nodes:
+            yield from node.pes
+
+    def total_gpu_busy_seconds(self) -> float:
+        from .gpu import COMPUTE
+
+        return sum(g.busy_seconds(COMPUTE) for n in self.nodes for g in n.gpus)

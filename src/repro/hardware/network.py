@@ -1,0 +1,135 @@
+"""The network: NIC ports, wire transfers, intra-node transport.
+
+Transfer model (LogGP-flavoured cut-through):
+
+* The sender's **injection port** and the receiver's **ejection port** are
+  each a unit resource serializing concurrent messages; one transfer holds
+  *both* while its bytes stream at ``injection_bandwidth``, so an
+  uncontended transfer takes ``size/BW + latency(hops)`` — not the doubled
+  store-and-forward time.
+* Port arbitration honours priorities (the runtime gives halo messages a
+  high priority, matching the paper's §III-A).
+* Per-message *CPU* overheads (``NicSpec.overhead_s``) are charged by the
+  communication layer to the sending/receiving PE, not here.
+
+Intra-node messages bypass the NIC and use the node's shared internal
+transport (``NodeSpec.intra_node_bandwidth``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..sim import Engine, Event, IntervalTracker, Resource, trace
+from .specs import MachineSpec
+from .topology import FatTree
+
+__all__ = ["Message", "Network"]
+
+_msg_ids = itertools.count()
+
+
+@dataclass
+class Message:
+    """A message in flight between two PEs.
+
+    ``payload`` carries arbitrary runtime data (entry-method invocations,
+    raw numpy halo arrays in functional mode); its size for timing purposes
+    is always the explicit ``size`` field.
+    """
+
+    src_pe: int
+    dst_pe: int
+    size: int
+    tag: Any = None
+    payload: Any = None
+    priority: float = 0.0
+    # Port-occupancy multiplier: > 1 models protocol inefficiency (e.g. the
+    # chunk-synchronization gaps of UCX's pipelined host staging, which keep
+    # the port from streaming at full rate).  Does not affect byte counters.
+    wire_time_scale: float = 1.0
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    sent_at: float = float("nan")
+    delivered_at: float = float("nan")
+
+
+class Network:
+    """All NIC ports plus the fat-tree latency model for one cluster.
+
+    Parameters
+    ----------
+    engine, spec, n_nodes, pes_per_node:
+        Machine shape.  PE *global* index = ``node * pes_per_node + local``.
+    """
+
+    def __init__(self, engine: Engine, spec: MachineSpec, n_nodes: int, pes_per_node: int):
+        self.engine = engine
+        self.spec = spec
+        self.n_nodes = n_nodes
+        self.pes_per_node = pes_per_node
+        self.tree = FatTree(spec.topology)
+        nic = spec.node.nic
+        self._bw = nic.injection_bandwidth
+        self._intra_bw = spec.node.intra_node_bandwidth
+        self._intra_lat = spec.node.intra_node_latency_s
+        self.inject = [Resource(engine, name=f"n{i}.inject") for i in range(n_nodes)]
+        self.eject = [Resource(engine, name=f"n{i}.eject") for i in range(n_nodes)]
+        self.intra = [Resource(engine, name=f"n{i}.intra") for i in range(n_nodes)]
+        self.inflight = IntervalTracker(engine, "net.inflight")
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # -- helpers ------------------------------------------------------------
+    def node_of_pe(self, pe: int) -> int:
+        return pe // self.pes_per_node
+
+    def wire_latency(self, src_node: int, dst_node: int) -> float:
+        return self.tree.latency(src_node, dst_node, self.spec.node.nic)
+
+    def uncontended_time(self, src_pe: int, dst_pe: int, size: int) -> float:
+        """Pure-wire transfer time with idle ports (for tests/analysis)."""
+        a, b = self.node_of_pe(src_pe), self.node_of_pe(dst_pe)
+        if a == b:
+            return self._intra_lat + size / self._intra_bw
+        return self.wire_latency(a, b) + size / self._bw
+
+    # -- transfer ------------------------------------------------------------
+    def transfer(self, message: Message) -> Event:
+        """Move ``message`` across the machine; the returned event triggers
+        at delivery (when the last byte reaches the destination node)."""
+        done = self.engine.event(name=f"net.deliver#{message.msg_id}")
+        self.engine.process(self._transfer_proc(message, done), name=f"net.xfer#{message.msg_id}")
+        return done
+
+    def _transfer_proc(self, message: Message, done: Event):
+        eng = self.engine
+        src_node = self.node_of_pe(message.src_pe)
+        dst_node = self.node_of_pe(message.dst_pe)
+        message.sent_at = eng.now
+        self.messages_sent += 1
+        self.bytes_sent += message.size
+        token = self.inflight.begin()
+        trace(eng, "net.send", f"pe{message.src_pe}", dst=message.dst_pe, size=message.size,
+              tag=message.tag)
+        if src_node == dst_node:
+            hold = self.intra[src_node].request(priority=message.priority)
+            yield hold
+            yield eng.timeout(message.size * message.wire_time_scale / self._intra_bw)
+            self.intra[src_node].release(hold)
+            yield eng.timeout(self._intra_lat)
+        else:
+            inj = self.inject[src_node].request(priority=message.priority)
+            yield inj
+            ej = self.eject[dst_node].request(priority=message.priority)
+            yield ej
+            yield eng.timeout(message.size * message.wire_time_scale / self._bw)
+            self.inject[src_node].release(inj)
+            self.eject[dst_node].release(ej)
+            yield eng.timeout(self.wire_latency(src_node, dst_node))
+        message.delivered_at = eng.now
+        self.inflight.end(token)
+        trace(eng, "net.deliver", f"pe{message.dst_pe}", src=message.src_pe,
+              size=message.size, tag=message.tag, latency=eng.now - message.sent_at)
+        done.succeed(message)

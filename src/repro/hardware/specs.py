@@ -1,0 +1,213 @@
+"""Hardware specifications and calibration constants.
+
+Every quantitative knob of the performance model lives here, in SI units
+(seconds, bytes, bytes/second).  The values are calibrated to the paper's
+testbed, the Summit supercomputer (IBM POWER9 + 6×NVIDIA V100 per node,
+dual-rail EDR InfiniBand fat tree), from public datasheets and the paper's
+own observations (e.g. the 1 MB UCX device-pipeline threshold implied by the
+9 MB-halo slowdown vs the 96 KB-halo speedup).
+
+The specs are frozen dataclasses: a :class:`MachineSpec` fully determines a
+simulated machine, so experiments are reproducible from their config alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+__all__ = [
+    "GpuSpec",
+    "HostLinkSpec",
+    "NicSpec",
+    "TopologySpec",
+    "UcxSpec",
+    "NodeSpec",
+    "MachineSpec",
+    "KiB",
+    "MiB",
+    "GiB",
+    "US",
+    "MS",
+]
+
+KiB = 1024
+MiB = 1024 * 1024
+GiB = 1024 * 1024 * 1024
+US = 1e-6  # microsecond, in seconds
+MS = 1e-3  # millisecond, in seconds
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """One GPU device.
+
+    Defaults model an NVIDIA Tesla V100 (SXM2, 16 GB):
+
+    * ``mem_bandwidth``: effective HBM2 bandwidth for streaming stencil
+      kernels (~87 % of the 900 GB/s peak).
+    * ``flops``: double-precision peak.
+    * ``kernel_launch_cpu_s``: host-side cost of ``cudaLaunchKernel`` (the
+      launching core is busy for this long).
+    * ``kernel_launch_device_s``: device-side gap before a launched kernel
+      starts doing work.
+    * ``graph_launch_cpu_s`` / ``graph_node_device_s``: CUDA Graph launch
+      cost (one per launch) and the much-reduced per-node device overhead.
+    * ``copy_engine_count``: independent DMA engines per direction.
+    """
+
+    name: str = "V100-SXM2-16GB"
+    mem_bandwidth: float = 780e9
+    flops: float = 7.8e12
+    mem_capacity: int = 16 * GiB
+    kernel_launch_cpu_s: float = 6.5 * US
+    kernel_launch_device_s: float = 2.5 * US
+    graph_launch_cpu_s: float = 5.5 * US  # cudaGraphLaunch beats one kernel launch
+    graph_node_device_s: float = 0.6 * US
+    copy_engine_count: int = 1
+    max_concurrent_kernels: int = 1
+
+
+@dataclass(frozen=True)
+class HostLinkSpec:
+    """CPU<->GPU link (NVLink 2.0 bricks on Summit: 50 GB/s per direction,
+    of which ~45 GB/s is achievable for large copies)."""
+
+    bandwidth: float = 45e9
+    latency: float = 1.8 * US
+    copy_setup_cpu_s: float = 1.2 * US  # cudaMemcpyAsync host-side cost
+
+
+@dataclass(frozen=True)
+class NicSpec:
+    """Per-node network interface (dual-rail EDR InfiniBand on Summit).
+
+    LogGP-flavoured: per-message CPU overhead ``o``, wire latency ``L``
+    (plus per-hop), and bandwidth ``G``-equivalent via ``injection_bandwidth``
+    shared by all PEs/GPUs on the node.
+    """
+
+    injection_bandwidth: float = 23e9
+    overhead_s: float = 1.5 * US  # sender/receiver CPU overhead per message
+    base_latency_s: float = 1.2 * US
+    per_hop_latency_s: float = 0.35 * US
+    rendezvous_rtt_s: float = 2.4 * US  # RTS/CTS handshake for rendezvous
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Non-blocking fat tree: nodes per leaf switch and switch levels.
+
+    Non-blocking means no bandwidth reduction upstream; distance only adds
+    per-hop latency.
+    """
+
+    nodes_per_switch: int = 18
+    levels: int = 3
+
+
+@dataclass(frozen=True)
+class UcxSpec:
+    """UCX-like protocol engine for device (GPU) buffers.
+
+    * ``<= eager_threshold``: eager through pre-registered bounce buffers.
+    * ``<= device_pipeline_threshold``: rendezvous + GPUDirect RDMA straight
+      from device memory.
+    * ``> device_pipeline_threshold``: *pipelined host staging* — the message
+      is chopped into ``pipeline_chunk_bytes`` chunks, each staged D2H through
+      a bounded pool of host bounce buffers on an internal stream, sent,
+      and un-staged H2D on the receiver.  This is the protocol switch the
+      paper observed for 9 MB halos (Fig. 7a) that makes GPU-aware
+      communication *slower* than application-level host staging.
+    """
+
+    eager_threshold: int = 8 * KiB
+    device_pipeline_threshold: int = 1 * MiB
+    pipeline_chunk_bytes: int = 512 * KiB
+    staging_pool_bytes: int = 2 * MiB  # per device: max in-flight staged bytes
+    per_chunk_overhead_s: float = 5.0 * US
+    # Fraction of wire bandwidth the pipelined protocol actually achieves:
+    # chunk-boundary synchronization keeps the port from streaming.  Hanford
+    # et al. ("Challenges of GPU-aware communication in MPI") measured
+    # ~8-9 GB/s pipelined device transfers vs ~21 GB/s host rendezvous on
+    # this architecture class; 0.5 of the 23 GB/s port reproduces that.
+    pipeline_wire_efficiency: float = 0.5
+    # Intra-node pipelined staging (shared-memory bounce) has gentler chunk
+    # gaps than the NIC path.
+    pipeline_intra_efficiency: float = 0.65
+    # Optional concurrency degradation: beyond `concurrency_free` concurrent
+    # pipelined transfers per source device, chunk scheduling on the UCX
+    # progress context degrades by `penalty` per extra transfer (capped).
+    # Defaults to OFF (penalty 0): with it enabled the weak-scaling Fig. 7a
+    # gap widens, but strong-scaling Charm-D would wrongly prefer ODF 1 —
+    # the paper's own data keeps ODF 4 best there.  Exposed as an ablation
+    # knob (see benchmarks/bench_ablations.py).
+    pipeline_concurrency_free: int = 6
+    pipeline_concurrency_penalty: float = 0.0
+    pipeline_concurrency_cap: int = 16
+    eager_overhead_s: float = 0.8 * US
+    gpudirect_reg_overhead_s: float = 1.6 * US
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One compute node: PEs (CPU cores driving GPUs), GPUs, host links, NIC.
+
+    In both the paper's MPI and Charm++ (non-SMP) setups exactly one process
+    runs per GPU, so ``pes_per_node == gpus_per_node``.
+    """
+
+    gpus_per_node: int = 6
+    gpu: GpuSpec = field(default_factory=GpuSpec)
+    host_link: HostLinkSpec = field(default_factory=HostLinkSpec)
+    nic: NicSpec = field(default_factory=NicSpec)
+    intra_node_bandwidth: float = 40e9  # PE<->PE / GPU<->GPU on-node transport
+    intra_node_latency_s: float = 0.9 * US
+
+    @property
+    def pes_per_node(self) -> int:
+        return self.gpus_per_node
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A whole machine: node design, topology, protocol engine.
+
+    Use :meth:`summit` for the paper's testbed; ``replace_...`` helpers make
+    sensitivity studies (ablations) terse.
+    """
+
+    name: str = "generic"
+    node: NodeSpec = field(default_factory=NodeSpec)
+    topology: TopologySpec = field(default_factory=TopologySpec)
+    ucx: UcxSpec = field(default_factory=UcxSpec)
+    max_nodes: Optional[int] = None
+
+    @classmethod
+    def summit(cls) -> "MachineSpec":
+        """The paper's testbed: 4608 nodes, 6 V100s + dual-rail EDR each."""
+        return cls(name="summit", max_nodes=4608)
+
+    @classmethod
+    def small_debug(cls) -> "MachineSpec":
+        """A 2-GPU-per-node machine for fast functional tests."""
+        return cls(name="debug", node=NodeSpec(gpus_per_node=2), max_nodes=64)
+
+    # -- ablation helpers ----------------------------------------------------
+    def with_gpu(self, **kwargs) -> "MachineSpec":
+        return replace(self, node=replace(self.node, gpu=replace(self.node.gpu, **kwargs)))
+
+    def with_nic(self, **kwargs) -> "MachineSpec":
+        return replace(self, node=replace(self.node, nic=replace(self.node.nic, **kwargs)))
+
+    def with_ucx(self, **kwargs) -> "MachineSpec":
+        return replace(self, ucx=replace(self.ucx, **kwargs))
+
+    def with_node(self, **kwargs) -> "MachineSpec":
+        return replace(self, node=replace(self.node, **kwargs))
+
+    def validate_nodes(self, n_nodes: int) -> None:
+        if n_nodes < 1:
+            raise ValueError(f"need at least one node, got {n_nodes}")
+        if self.max_nodes is not None and n_nodes > self.max_nodes:
+            raise ValueError(f"{self.name} has only {self.max_nodes} nodes, asked for {n_nodes}")

@@ -1,0 +1,45 @@
+"""Interconnect topology: hop counts and wire latency.
+
+Summit's fabric is a *non-blocking* fat tree, so contention upstream of the
+injection port is negligible; topology only determines latency through the
+hop count between nodes.  The model groups nodes hierarchically: a leaf
+switch serves ``nodes_per_switch`` nodes; each extra level widens the group
+by ``radix`` and adds two hops (up + down).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .specs import NicSpec, TopologySpec
+
+__all__ = ["FatTree"]
+
+
+@dataclass(frozen=True)
+class FatTree:
+    """Hop/latency calculator for a non-blocking fat tree.
+
+    ``hops(a, b)`` is 0 for the same node, 2 within a leaf switch, and +2
+    per additional tree level that must be climbed.
+    """
+
+    spec: TopologySpec
+    radix: int = 18  # up-links fan-out per level above the leaves
+
+    def group_size(self, level: int) -> int:
+        """Number of nodes reachable without climbing above ``level``."""
+        return self.spec.nodes_per_switch * (self.radix ** max(0, level - 1))
+
+    def hops(self, node_a: int, node_b: int) -> int:
+        if node_a == node_b:
+            return 0
+        for level in range(1, self.spec.levels + 1):
+            size = self.group_size(level)
+            if node_a // size == node_b // size:
+                return 2 * level
+        return 2 * self.spec.levels
+
+    def latency(self, node_a: int, node_b: int, nic: NicSpec) -> float:
+        """One-way wire latency between two nodes."""
+        return nic.base_latency_s + self.hops(node_a, node_b) * nic.per_hop_latency_s

@@ -1,0 +1,64 @@
+"""Jacobi3D numerics and GPU work models.
+
+* :mod:`repro.kernels.jacobi` — functional NumPy stencil, pack/unpack.
+* :mod:`repro.kernels.costs` — roofline :class:`KernelWork` builders.
+* :mod:`repro.kernels.fusion` — the paper's fusion strategies A/B/C.
+* :mod:`repro.kernels.validation` — serial reference solver, invariants.
+"""
+
+from .costs import (
+    stencil_efficiency,
+    DOUBLE,
+    exterior_work,
+    fused_all_work,
+    fused_pack_work,
+    fused_unpack_work,
+    interior_work,
+    pack_work,
+    unpack_work,
+    update_work,
+)
+from .fusion import FusionStrategy, kernel_launches_per_iteration
+from .jacobi import (
+    FACES,
+    alloc_block,
+    face_shape,
+    jacobi_update,
+    opposite,
+    pack_face,
+    residual,
+    unpack_face,
+)
+from .validation import (
+    apply_boundary,
+    hot_top_boundary,
+    max_principle_holds,
+    reference_solve,
+)
+
+__all__ = [
+    "DOUBLE",
+    "exterior_work",
+    "fused_all_work",
+    "fused_pack_work",
+    "fused_unpack_work",
+    "interior_work",
+    "pack_work",
+    "unpack_work",
+    "update_work",
+    "stencil_efficiency",
+    "FusionStrategy",
+    "kernel_launches_per_iteration",
+    "FACES",
+    "alloc_block",
+    "face_shape",
+    "jacobi_update",
+    "opposite",
+    "pack_face",
+    "residual",
+    "unpack_face",
+    "apply_boundary",
+    "hot_top_boundary",
+    "max_principle_holds",
+    "reference_solve",
+]

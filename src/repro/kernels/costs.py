@@ -1,0 +1,116 @@
+"""Roofline work models for Jacobi3D's GPU kernels.
+
+Translates block geometry into :class:`~repro.hardware.gpu.KernelWork`
+instances.  All kernels here are memory-bound on a V100 (the 7-point
+stencil runs ~6 flops per 16 bytes of traffic, far below the ~69
+flops/double-read the FP64 roofline would need).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..hardware.gpu import KernelWork
+
+__all__ = [
+    "DOUBLE",
+    "update_work",
+    "pack_work",
+    "unpack_work",
+    "fused_pack_work",
+    "fused_unpack_work",
+    "fused_all_work",
+    "interior_work",
+    "exterior_work",
+]
+
+DOUBLE = 8  # bytes per grid element
+
+# Fused (un)packing kernels size their thread grid as the *maximum* face
+# size, with each thread walking all faces (paper §III-D1).  That layout
+# avoids the warp divergence of the sum-of-sizes variant but still retains
+# some divergence versus dedicated per-face kernels:
+FUSED_PACK_EFFICIENCY = 0.82
+# The all-in-one kernel (strategy C) mixes stencil and copy access patterns:
+FUSED_ALL_EFFICIENCY = 0.88
+
+
+def _volume(dims: Sequence[int]) -> int:
+    v = 1
+    for d in dims:
+        v *= int(d)
+    return v
+
+
+def _surface(dims: Sequence[int]) -> int:
+    x, y, z = (int(d) for d in dims)
+    return 2 * (x * y + y * z + x * z)
+
+
+# Boundary cells get no stencil reuse (their neighbour loads miss cache), so
+# achieved bandwidth falls as blocks shrink — this is what eventually turns
+# the overdecomposition curve back up at high ODF.
+STENCIL_SURFACE_PENALTY = 4.0
+
+
+def stencil_efficiency(dims: Sequence[int], beta: float = STENCIL_SURFACE_PENALTY) -> float:
+    """Fraction of streaming bandwidth a stencil achieves on this block."""
+    vol = _volume(dims)
+    return vol / (vol + beta * _surface(dims))
+
+
+def update_work(dims: Sequence[int]) -> KernelWork:
+    """The Jacobi sweep: read the input block once (neighbours hit cache),
+    write the output block once; 6 flops (5 adds + 1 multiply) per cell."""
+    vol = _volume(dims)
+    return KernelWork(bytes_moved=2 * DOUBLE * vol, flops=6 * vol,
+                      efficiency=stencil_efficiency(dims))
+
+
+def pack_work(face_cells: int) -> KernelWork:
+    """Copy one face into a contiguous halo buffer (read + write)."""
+    return KernelWork(bytes_moved=2 * DOUBLE * int(face_cells))
+
+
+def unpack_work(face_cells: int) -> KernelWork:
+    """Copy one received halo into the ghost layer (read + write)."""
+    return KernelWork(bytes_moved=2 * DOUBLE * int(face_cells))
+
+
+def fused_pack_work(face_cells: Iterable[int]) -> KernelWork:
+    """Strategy A/B: all packing in one kernel — one launch, same bytes,
+    slightly lower efficiency from the max-threads/loop-over-faces layout."""
+    total = sum(int(c) for c in face_cells)
+    return KernelWork(bytes_moved=2 * DOUBLE * total, efficiency=FUSED_PACK_EFFICIENCY)
+
+
+def fused_unpack_work(face_cells: Iterable[int]) -> KernelWork:
+    """Strategy B: all unpacking fused (launchable only after *all* halos
+    arrive — the concurrency cost of fusing, §III-D1)."""
+    total = sum(int(c) for c in face_cells)
+    return KernelWork(bytes_moved=2 * DOUBLE * total, efficiency=FUSED_PACK_EFFICIENCY)
+
+
+def fused_all_work(dims: Sequence[int], face_cells: Iterable[int]) -> KernelWork:
+    """Strategy C: unpack + update + pack as one kernel — a single launch
+    per iteration."""
+    vol = _volume(dims)
+    halo = sum(int(c) for c in face_cells)
+    return KernelWork(
+        bytes_moved=2 * DOUBLE * (vol + 2 * halo),
+        flops=6 * vol,
+        efficiency=FUSED_ALL_EFFICIENCY * stencil_efficiency(dims),
+    )
+
+
+def interior_work(dims: Sequence[int]) -> KernelWork:
+    """Manual-overlap variant: update cells not touching any ghost layer."""
+    inner = [max(0, int(d) - 2) for d in dims]
+    vol = _volume(inner)
+    return KernelWork(bytes_moved=max(1, 2 * DOUBLE * vol), flops=6 * vol)
+
+
+def exterior_work(dims: Sequence[int]) -> KernelWork:
+    """Manual-overlap variant: the shell of cells adjacent to ghosts."""
+    vol = _volume(dims) - _volume([max(0, int(d) - 2) for d in dims])
+    return KernelWork(bytes_moved=max(1, 2 * DOUBLE * vol), flops=6 * vol)

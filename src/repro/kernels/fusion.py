@@ -1,0 +1,69 @@
+"""Kernel-fusion strategies (paper §III-D1).
+
+=========  =====================================================  ==========
+strategy   fused kernels                                          launches /
+                                                                  iteration*
+=========  =====================================================  ==========
+NONE       —                                                      13
+A          the 6 packing kernels → 1                              8
+B          packing → 1 and unpacking → 1 (two kernels)            3
+C          unpacking + update + packing → 1 kernel                1
+=========  =====================================================  ==========
+
+(*for an interior block with 6 neighbours, excluding copies.)
+
+Fusing unpacking (B, C) trades concurrency for launches: the fused kernel
+can only start once *all* halos have arrived, whereas unfused unpacking
+streams in as each halo lands.  The paper (and our reproduction) evaluates
+fusion only together with GPU-aware communication.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["FusionStrategy", "kernel_launches_per_iteration"]
+
+
+class FusionStrategy(Enum):
+    """Which kernels are fused (paper's Baseline/A/B/C)."""
+
+    NONE = "none"
+    A = "A"  # packing fused
+    B = "B"  # packing fused + unpacking fused
+    C = "C"  # one kernel: unpack + update + pack
+
+    @classmethod
+    def parse(cls, value) -> "FusionStrategy":
+        if isinstance(value, cls):
+            return value
+        if value is None:
+            return cls.NONE
+        try:
+            return cls(str(value))
+        except ValueError:
+            names = [m.value for m in cls]
+            raise ValueError(f"unknown fusion strategy {value!r}; expected one of {names}")
+
+    @property
+    def packs_fused(self) -> bool:
+        return self is not FusionStrategy.NONE
+
+    @property
+    def unpacks_fused(self) -> bool:
+        return self in (FusionStrategy.B, FusionStrategy.C)
+
+    @property
+    def all_in_one(self) -> bool:
+        return self is FusionStrategy.C
+
+
+def kernel_launches_per_iteration(strategy: FusionStrategy, n_neighbors: int) -> int:
+    """Kernel launches per steady-state iteration for one block."""
+    if strategy is FusionStrategy.C:
+        return 1
+    if strategy is FusionStrategy.B:
+        return 3  # fused unpack, update, fused pack
+    if strategy is FusionStrategy.A:
+        return n_neighbors + 2  # per-face unpacks + update + fused pack
+    return 2 * n_neighbors + 1

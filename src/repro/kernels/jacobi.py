@@ -1,0 +1,112 @@
+"""Functional Jacobi numerics (NumPy, vectorized).
+
+A block is stored with one ghost layer on every side: interior shape
+``(nx, ny, nz)`` inside an array of shape ``(nx+2, ny+2, nz+2)``.  The
+update is the classic 6-point Jacobi relaxation for Laplace's equation:
+
+    u'[i,j,k] = (u[i±1,j,k] + u[i,j±1,k] + u[i,j,k±1]) / 6
+
+All face/pack/unpack helpers use the same face naming as the performance
+model: a face is ``(axis, side)`` with ``axis`` in {0,1,2} and ``side`` in
+{-1,+1}.
+
+Determinism note: the sum is evaluated in a fixed operand order, so a
+distributed run (any decomposition, any message timing) produces grids
+*bit-identical* to the serial reference — the integration tests rely on
+this to prove the runtime exchanges the right bytes at the right
+iterations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+__all__ = [
+    "FACES",
+    "opposite",
+    "alloc_block",
+    "jacobi_update",
+    "pack_face",
+    "unpack_face",
+    "face_shape",
+    "residual",
+]
+
+# (axis, side): side -1 is the low-coordinate face, +1 the high one.
+FACES: tuple[tuple[int, int], ...] = ((0, -1), (0, 1), (1, -1), (1, 1), (2, -1), (2, 1))
+
+
+def opposite(face: tuple[int, int]) -> tuple[int, int]:
+    """The matching face on the neighbouring block."""
+    axis, side = face
+    return (axis, -side)
+
+
+def alloc_block(interior_shape: Iterable[int], fill: float = 0.0) -> np.ndarray:
+    """A float64 block with ghost layers, initialized to ``fill``."""
+    shape = tuple(int(s) + 2 for s in interior_shape)
+    if any(s < 3 for s in shape):
+        raise ValueError(f"interior must be at least 1 cell per axis, got {interior_shape}")
+    return np.full(shape, fill, dtype=np.float64)
+
+
+def jacobi_update(u: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+    """One Jacobi sweep over the interior; ghosts are read, never written.
+
+    Returns ``out`` (allocated if omitted).  Fixed evaluation order keeps
+    results bit-identical across decompositions.
+    """
+    if out is None:
+        out = np.empty_like(u)
+        out[...] = u
+    acc = u[:-2, 1:-1, 1:-1].copy()
+    acc += u[2:, 1:-1, 1:-1]
+    acc += u[1:-1, :-2, 1:-1]
+    acc += u[1:-1, 2:, 1:-1]
+    acc += u[1:-1, 1:-1, :-2]
+    acc += u[1:-1, 1:-1, 2:]
+    acc *= 1.0 / 6.0
+    out[1:-1, 1:-1, 1:-1] = acc
+    return out
+
+
+def _face_slices(u_shape: tuple[int, ...], face: tuple[int, int], ghost: bool):
+    """Index tuple selecting the face layer (ghost or first-interior)."""
+    axis, side = face
+    if axis not in (0, 1, 2) or side not in (-1, 1):
+        raise ValueError(f"bad face {face}")
+    idx: list = [slice(1, -1)] * 3
+    if ghost:
+        idx[axis] = 0 if side < 0 else u_shape[axis] - 1
+    else:
+        idx[axis] = 1 if side < 0 else u_shape[axis] - 2
+    return tuple(idx)
+
+
+def pack_face(u: np.ndarray, face: tuple[int, int]) -> np.ndarray:
+    """Copy the first interior layer adjacent to ``face`` (the halo to send)."""
+    return np.ascontiguousarray(u[_face_slices(u.shape, face, ghost=False)])
+
+
+def unpack_face(u: np.ndarray, face: tuple[int, int], data: np.ndarray) -> None:
+    """Write received halo ``data`` into the ghost layer at ``face``."""
+    target = u[_face_slices(u.shape, face, ghost=True)]
+    if target.shape != data.shape:
+        raise ValueError(f"halo shape {data.shape} != ghost {target.shape} for face {face}")
+    target[...] = data
+
+
+def face_shape(interior_shape: Iterable[int], face: tuple[int, int]) -> tuple[int, int]:
+    """Interior cross-section of a face (the halo message shape)."""
+    axis, _ = face
+    dims = [int(s) for s in interior_shape]
+    del dims[axis]
+    return tuple(dims)  # type: ignore[return-value]
+
+
+def residual(u: np.ndarray) -> float:
+    """Max-norm Jacobi residual of the interior (0 when converged)."""
+    nxt = jacobi_update(u)
+    return float(np.max(np.abs(nxt[1:-1, 1:-1, 1:-1] - u[1:-1, 1:-1, 1:-1])))

@@ -1,0 +1,81 @@
+"""Validation helpers: serial reference solver and analytic checks."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from .jacobi import alloc_block, jacobi_update
+
+__all__ = [
+    "hot_top_boundary",
+    "apply_boundary",
+    "reference_solve",
+    "max_principle_holds",
+]
+
+
+def hot_top_boundary(x: int, y: int, z: int, shape: tuple[int, int, int]) -> float:
+    """The canonical test problem: u = 1 on the global +x ghost face, 0 on
+    the other five.  Arguments are *global ghost-array* coordinates."""
+    return 1.0 if x == shape[0] + 1 else 0.0
+
+
+BoundaryFn = Callable[[int, int, int, tuple], float]
+
+
+def apply_boundary(u: np.ndarray, boundary: BoundaryFn, global_shape: tuple,
+                   offset: tuple = (0, 0, 0)) -> None:
+    """Fill the ghost layers of ``u`` that lie on the *global* domain
+    boundary using ``boundary``; interior-facing ghosts are left alone.
+
+    ``offset`` is the global coordinate of this block's (0,0,0) ghost cell,
+    so the same function initializes both the serial reference grid and
+    every distributed block consistently.
+    """
+    gx, gy, gz = global_shape
+    for axis, side in ((0, -1), (0, 1), (1, -1), (1, 1), (2, -1), (2, 1)):
+        layer_global = 0 if side < 0 else global_shape[axis] + 1
+        layer_local = layer_global - offset[axis]
+        if not 0 <= layer_local < u.shape[axis]:
+            continue  # this block does not touch that global face
+        idx: list = [slice(None)] * 3
+        idx[axis] = layer_local
+        view = u[tuple(idx)]
+        coords = np.meshgrid(
+            *[np.arange(u.shape[a]) + offset[a] for a in range(3) if a != axis],
+            indexing="ij",
+        )
+        full = []
+        ci = iter(coords)
+        for a in range(3):
+            full.append(np.full(view.shape, layer_global) if a == axis else next(ci))
+        vals = np.vectorize(lambda X, Y, Z: boundary(X, Y, Z, global_shape))(*full)
+        view[...] = vals
+
+
+def reference_solve(global_shape: tuple, iterations: int,
+                    boundary: BoundaryFn = hot_top_boundary) -> np.ndarray:
+    """Serial Jacobi on the whole grid — ground truth for distributed runs."""
+    u = alloc_block(global_shape)
+    apply_boundary(u, boundary, global_shape)
+    out = u.copy()
+    for _ in range(iterations):
+        jacobi_update(u, out)
+        u, out = out, u
+    return u
+
+
+def max_principle_holds(u: np.ndarray) -> bool:
+    """Discrete maximum principle: interior values stay within the range of
+    the boundary data — a cheap invariant for property tests."""
+    interior = u[1:-1, 1:-1, 1:-1]
+    boundary_vals = np.concatenate([
+        u[0, :, :].ravel(), u[-1, :, :].ravel(),
+        u[:, 0, :].ravel(), u[:, -1, :].ravel(),
+        u[:, :, 0].ravel(), u[:, :, -1].ravel(),
+    ])
+    lo, hi = boundary_vals.min(), boundary_vals.max()
+    eps = 1e-12
+    return bool(interior.min() >= lo - eps and interior.max() <= hi + eps)

@@ -1,0 +1,5 @@
+"""MPI model on the simulated cluster (host-staging and CUDA-aware)."""
+
+from .api import (MpiCosts, MpiProcess, MpiWorld, Request, allreduce_algorithm, barrier_algorithm)
+
+__all__ = ["MpiCosts", "MpiProcess", "MpiWorld", "Request", "allreduce_algorithm", "barrier_algorithm"]

@@ -1,0 +1,64 @@
+"""Charm++-like asynchronous task runtime on the simulated cluster.
+
+Core pieces:
+
+* :class:`CharmRuntime` — schedulers, arrays, routing, quiescence.
+* :class:`Chare` — user task objects with SDAG-style generator entry
+  methods; commands in :mod:`repro.runtime.commands`.
+* :class:`Channel` — GPU-aware two-sided communication (Channel API).
+* :func:`gpu_message_send` — the older GPU Messaging API.
+* :class:`RuntimeCosts`, :class:`MsgPriority` — overhead calibration.
+"""
+
+from .array import ChareArray, ElementProxy, Proxy
+from .balancer import LoadRecorder, RebalanceStats, apply_rebalance, greedy_map, refine_map
+from .channel import Channel
+from .checkpoint import Checkpoint, restore_array, take_checkpoint
+from .chare import Chare, Frame
+from .commands import Await, Launch, LaunchGraph, When, Work
+from .costs import MsgPriority, RuntimeCosts
+from .gpu_messaging import gpu_message_send, install_gm_post
+from .mapping import all_indices, block_map, linearize, make_mapping, round_robin_map
+from .messages import EntryMessage, Resume
+from .reductions import REDUCERS, ReductionManager
+from .runtime import CharmRuntime
+from .scheduler import Scheduler
+
+install_gm_post(Chare)
+
+__all__ = [
+    "Checkpoint",
+    "restore_array",
+    "take_checkpoint",
+    "LoadRecorder",
+    "RebalanceStats",
+    "apply_rebalance",
+    "greedy_map",
+    "refine_map",
+    "ChareArray",
+    "ElementProxy",
+    "Proxy",
+    "Channel",
+    "Chare",
+    "Frame",
+    "Await",
+    "Launch",
+    "LaunchGraph",
+    "When",
+    "Work",
+    "MsgPriority",
+    "RuntimeCosts",
+    "gpu_message_send",
+    "install_gm_post",
+    "all_indices",
+    "block_map",
+    "linearize",
+    "make_mapping",
+    "round_robin_map",
+    "EntryMessage",
+    "Resume",
+    "REDUCERS",
+    "ReductionManager",
+    "CharmRuntime",
+    "Scheduler",
+]

@@ -1,0 +1,183 @@
+"""Dynamic load balancing: measurement, strategies, and migration.
+
+The paper motivates overdecomposition partly by runtime adaptivity:
+"overdecomposition empowers the runtime system to support adaptive features
+such as dynamic load balancing" (§II-A).  This module supplies that
+feature for the reproduction:
+
+* :class:`LoadRecorder` — per-chare load measurement (an observer that
+  accumulates GPU/CPU time reported by the application).
+* :func:`greedy_map` — Charm++ ``GreedyLB``: heaviest chare to the
+  least-loaded PE (ignores current placement; many migrations).
+* :func:`refine_map` — Charm++ ``RefineLB``-style: move chares off
+  overloaded PEs only (few migrations).
+* :meth:`CharmRuntime.apply_rebalance <apply_rebalance>` — perform the
+  migrations *with modeled cost*: each moved chare's state crosses the
+  network, and the chare's ``on_migrate`` hook re-creates device state.
+
+Migration happens at quiescence (between ``runtime.run()`` calls), which is
+also when Charm++ load balancers run.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..hardware.network import Message as NetMessage
+from ..sim import SimulationError
+
+__all__ = ["LoadRecorder", "greedy_map", "refine_map", "RebalanceStats", "apply_rebalance"]
+
+
+class LoadRecorder:
+    """Accumulates per-chare load from ``chare.notify("load", seconds=...)``.
+
+    Register with ``runtime.observe(recorder.on_event)``; applications
+    report whatever load metric they like (modeled GPU seconds is natural).
+    """
+
+    def __init__(self):
+        self.loads: dict[tuple, float] = defaultdict(float)
+
+    def on_event(self, name: str, chare, **data) -> None:
+        if name == "load":
+            self.loads[tuple(chare.index)] += float(data["seconds"])
+
+    def reset(self) -> None:
+        self.loads.clear()
+
+    def imbalance(self, mapping: dict, n_pes: int) -> float:
+        """max/mean PE load ratio under ``mapping`` (1.0 = perfect)."""
+        per_pe = [0.0] * n_pes
+        for idx, load in self.loads.items():
+            per_pe[mapping[idx]] += load
+        mean = sum(per_pe) / n_pes
+        return max(per_pe) / mean if mean > 0 else 1.0
+
+
+def greedy_map(loads: dict[tuple, float], n_pes: int) -> dict[tuple, int]:
+    """GreedyLB: assign chares, heaviest first, to the least-loaded PE."""
+    if n_pes < 1:
+        raise ValueError("need at least one PE")
+    heap = [(0.0, pe) for pe in range(n_pes)]
+    heapq.heapify(heap)
+    mapping: dict[tuple, int] = {}
+    for idx, load in sorted(loads.items(), key=lambda kv: (-kv[1], kv[0])):
+        total, pe = heapq.heappop(heap)
+        mapping[idx] = pe
+        heapq.heappush(heap, (total + load, pe))
+    return mapping
+
+
+def refine_map(
+    loads: dict[tuple, float],
+    current: dict[tuple, int],
+    n_pes: int,
+    threshold: float = 1.05,
+) -> dict[tuple, int]:
+    """RefineLB: shed load from PEs above ``threshold``×mean onto the
+    lightest PEs, moving as few chares as possible."""
+    per_pe = [0.0] * n_pes
+    for idx, load in loads.items():
+        per_pe[current[idx]] += load
+    mean = sum(per_pe) / n_pes
+    if mean <= 0:
+        return dict(current)
+    mapping = dict(current)
+    limit = threshold * mean
+    for pe in range(n_pes):
+        if per_pe[pe] <= limit:
+            continue
+        # Lightest-first candidates leave first (cheapest correction).
+        movable = sorted(
+            (idx for idx, p in mapping.items() if p == pe),
+            key=lambda idx: loads.get(idx, 0.0),
+        )
+        for idx in movable:
+            if per_pe[pe] <= limit:
+                break
+            load = loads.get(idx, 0.0)
+            target = min(range(n_pes), key=lambda p: per_pe[p])
+            if per_pe[target] + load >= per_pe[pe]:
+                continue  # move would not help
+            mapping[idx] = target
+            per_pe[pe] -= load
+            per_pe[target] += load
+    return mapping
+
+
+@dataclass
+class RebalanceStats:
+    """Outcome of one migration phase."""
+
+    moves: int
+    bytes_moved: int
+    migration_seconds: float
+    mapping: dict = field(default_factory=dict)
+
+
+def apply_rebalance(
+    runtime,
+    array,
+    new_mapping: dict[tuple, int],
+    state_bytes: Optional[Callable] = None,
+) -> RebalanceStats:
+    """Migrate chares of ``array`` to ``new_mapping``, with modeled cost.
+
+    Must be called at quiescence.  Each moved chare's serialized state
+    (``state_bytes(chare)``; default: its ``data.device_bytes`` if present,
+    else 64 KiB) crosses the simulated network; device allocations move via
+    the chare's ``on_migrate`` hook.  Returns migration statistics; the
+    engine is advanced until all transfers complete.
+    """
+    engine = runtime.engine
+    engine.run()  # drain any pending bookkeeping events; quiesce
+    if runtime._live_frames > 0:
+        raise SimulationError("rebalance requires quiescence (live frames remain)")
+    for chare in array.elements.values():
+        if chare._frames:
+            raise SimulationError(f"{chare!r} still has live frames; cannot migrate")
+
+    def default_bytes(chare) -> int:
+        data = getattr(chare, "data", None)
+        if data is not None and hasattr(data, "device_bytes"):
+            return int(data.device_bytes)
+        return 64 * 1024
+
+    size_of = state_bytes or default_bytes
+    moves = 0
+    total_bytes = 0
+    start = engine.now
+    pending = []
+    for idx, chare in array.elements.items():
+        src_pe = array.mapping[idx]
+        dst_pe = new_mapping.get(idx, src_pe)
+        if dst_pe == src_pe:
+            continue
+        if not 0 <= dst_pe < runtime.cluster.n_pes:
+            raise ValueError(f"bad destination PE {dst_pe}")
+        size = size_of(chare)
+        moves += 1
+        total_bytes += size
+        pending.append(
+            runtime.cluster.network.transfer(
+                NetMessage(src_pe, dst_pe, size, tag=("migrate", idx))
+            )
+        )
+        array.mapping[idx] = dst_pe
+        chare.pe = runtime.cluster.pe(dst_pe)
+        chare.gpu = chare.pe.gpu
+        hook = getattr(chare, "on_migrate", None)
+        if hook is not None:
+            hook()
+    if pending:
+        engine.run_until_complete(*pending)
+    return RebalanceStats(
+        moves=moves,
+        bytes_moved=total_bytes,
+        migration_seconds=engine.now - start,
+        mapping=dict(array.mapping),
+    )

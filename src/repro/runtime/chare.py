@@ -1,0 +1,186 @@
+"""Chares: migratable(-in-principle) message-driven objects.
+
+A :class:`Chare` subclass defines *entry methods*:
+
+* **generator methods** (e.g. ``run``) — long-running SDAG-style control
+  flow.  They yield :mod:`~repro.runtime.commands` objects and are driven
+  by the PE's scheduler, suspending at ``when``/``wait`` points so other
+  chares can interleave (this interleaving *is* the automatic overlap).
+* **plain methods** — short callbacks executed to completion.
+
+Every entry method receives the triggering :class:`EntryMessage` as its
+single argument.  Messages whose ``method`` names no real method are
+*mailbox deposits*, consumed by ``yield self.when(name, ref)`` — the
+equivalent of SDAG's ``when name[ref]`` for data-only entry methods like
+the paper's ``recvHalo``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Any, Iterable, Optional
+
+from ..hardware.gpu import CudaStream, WorkModel
+from ..hardware.graphs import GraphExec
+from ..sim import Event
+from .commands import Await, Launch, LaunchGraph, When, Work
+from .costs import MsgPriority
+from .messages import EntryMessage
+
+__all__ = ["Chare", "Frame"]
+
+
+class Frame:
+    """One executing SDAG continuation (a generator being driven)."""
+
+    __slots__ = ("chare", "coroutine", "waiting_when", "finished", "name")
+
+    def __init__(self, chare: "Chare", coroutine, name: str = ""):
+        self.chare = chare
+        self.coroutine = coroutine
+        self.waiting_when: Optional[When] = None
+        self.finished = False
+        self.name = name
+
+    def matches(self, method: str, ref: Any) -> bool:
+        w = self.waiting_when
+        return w is not None and w.method == method and (w.ref is None or w.ref == ref)
+
+
+class Chare:
+    """Base class for user chares.
+
+    Attributes set by the runtime at construction: ``runtime``, ``array``,
+    ``index`` (tuple), ``pe`` (the :class:`~repro.hardware.cluster.PE`),
+    ``gpu`` (its device).  Subclasses implement ``init()`` for setup instead
+    of overriding ``__init__``.
+    """
+
+    def __init__(self, runtime, array, index):
+        self.runtime = runtime
+        self.array = array
+        self.index = index
+        self.pe = runtime.cluster.pe(array.mapping[index])
+        self.gpu = self.pe.gpu
+        self._mailboxes: dict[str, deque] = defaultdict(deque)
+        self._frames: list[Frame] = []
+        self._reduction_seq = 0
+        self.init()
+
+    def init(self) -> None:
+        """Subclass hook: allocate buffers, create streams, etc."""
+
+    # -- command constructors (use with ``yield``) ---------------------------
+    def work(self, seconds: float) -> Work:
+        """Model ``seconds`` of CPU work in this entry method."""
+        return Work(seconds)
+
+    def launch(
+        self,
+        stream: CudaStream,
+        work: WorkModel,
+        name: str = "",
+        wait: Iterable[Event] = (),
+    ) -> Launch:
+        """Launch GPU work (pays the host-side launch cost); yields the op."""
+        return Launch(stream, work, name=name, wait_events=tuple(wait))
+
+    def launch_graph(self, graph_exec: GraphExec, priority: int = 0,
+                     after: Iterable[Event] = ()) -> LaunchGraph:
+        """Launch a pre-instantiated CUDA graph; yields its completion event."""
+        return LaunchGraph(graph_exec, priority=priority, after=tuple(after))
+
+    def when(self, method: str, ref: Any = None) -> When:
+        """SDAG ``when method[ref]``; yields the matching message."""
+        return When(method, ref)
+
+    def wait(self, event: Event, priority: float = MsgPriority.GPU_COMPLETION) -> Await:
+        """HAPI-style asynchronous completion wait; yields the event value."""
+        return Await(event, priority)
+
+    def wait_all(self, events: Iterable[Event],
+                 priority: float = MsgPriority.GPU_COMPLETION) -> Await:
+        """Wait for several events (one scheduler wake-up at the end)."""
+        return Await(self.runtime.engine.all_of(list(events)), priority)
+
+    # -- communication ---------------------------------------------------------
+    def send(
+        self,
+        index,
+        method: str,
+        ref: Any = None,
+        data_bytes: int = 0,
+        payload: Any = None,
+        priority: float = MsgPriority.HALO_DATA,
+    ) -> None:
+        """Asynchronously invoke ``method`` on element ``index`` of this
+        chare's own array (non-blocking; cost charged at the next yield)."""
+        self.array.send(self, index, method, ref=ref, data_bytes=data_bytes,
+                        payload=payload, priority=priority)
+
+    def channel_to(self, index) -> "Channel":
+        """A Channel-API endpoint to a neighbouring element (cached)."""
+        from .channel import Channel  # local import to avoid a cycle
+
+        return Channel.get(self, index)
+
+    def gpu_send(self, index, method: str, size: int, ref: Any = None) -> None:
+        """GPU Messaging API send (metadata message + posted receive on the
+        target — the slower, pre-Channel-API mechanism, §II-B)."""
+        from .gpu_messaging import gpu_message_send
+
+        gpu_message_send(self, index, method, size, ref)
+
+    def charge(self, seconds: float) -> None:
+        """Account CPU time from a *plain* entry method (no yield needed)."""
+        self.runtime.scheduler_of(self.pe.index).add_charge(seconds)
+
+    def notify(self, event: str, **data) -> None:
+        """Report an application-level event to registered observers
+        (timing instrumentation; costs nothing in model time)."""
+        self.runtime._notify(event, self, **data)
+
+    def notify_when(self, trigger: Event, event: str, **data) -> None:
+        """Notify observers when ``trigger`` fires, without suspending the
+        chare (used to timestamp GPU completions accurately while keeping
+        execution fully asynchronous)."""
+        trigger.add_callback(lambda _e: self.runtime._notify(event, self, **data))
+
+    # -- collectives ----------------------------------------------------------
+    def allreduce(self, value, op: str = "sum"):
+        """Array-wide allreduce; use as ``result = yield from self.allreduce(x)``.
+
+        Modeled with real messages: per-PE partial combining, a partial
+        message per PE to the root, and a broadcast back.
+        """
+        seq = self._reduction_seq
+        self._reduction_seq += 1
+        self.runtime.reductions.contribute(self, seq, value, op)
+        msg = yield self.when("_reduction_result", ref=seq)
+        return msg.payload
+
+    # -- mailbox internals (used by the scheduler) -------------------------------
+    def _mailbox_push(self, msg: EntryMessage) -> None:
+        self._mailboxes[msg.method].append(msg)
+
+    def _mailbox_pop(self, method: str, ref: Any) -> Optional[EntryMessage]:
+        box = self._mailboxes.get(method)
+        if not box:
+            return None
+        if ref is None:
+            return box.popleft()
+        for i, msg in enumerate(box):
+            if msg.ref == ref:
+                del box[i]
+                return msg
+        return None
+
+    def _take_waiting_frame(self, method: str, ref: Any) -> Optional[Frame]:
+        for frame in self._frames:
+            if frame.matches(method, ref):
+                frame.waiting_when = None
+                return frame
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__}{self.index} on pe{self.pe.index}>"

@@ -1,0 +1,155 @@
+"""Checkpoint/restart: the fault-tolerance side of runtime adaptivity.
+
+The paper motivates overdecomposition with "adaptive features such as
+dynamic load balancing and fault tolerance" (§I, §II-A).  This module
+implements Charm++-style double in-memory checkpointing:
+
+* at quiescence, every chare serializes itself through its ``pup()`` hook
+  (Charm++'s Pack-UnPack idiom);
+* each PE ships its chares' state to a *buddy* on another node, with
+  modeled network cost — so a single-node failure never destroys both
+  copies;
+* :func:`restore_array` re-creates the array on a *new* runtime — possibly
+  on fewer nodes, since overdecomposition decouples the chare count from
+  the PE count — and feeds every chare its saved state via ``unpup()``.
+
+Chare requirements: a ``pup() -> dict`` method (state out) and an
+``unpup(state)`` method (state in, called after placement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..hardware.network import Message as NetMessage
+from ..sim import SimulationError
+
+__all__ = ["Checkpoint", "take_checkpoint", "restore_array"]
+
+_ENVELOPE = 256  # serialization framing per chare
+
+
+@dataclass
+class Checkpoint:
+    """A double in-memory checkpoint of one chare array."""
+
+    shape: tuple
+    states: dict = field(default_factory=dict)  # index -> pup'd dict
+    home_node: dict = field(default_factory=dict)  # index -> node holding copy 1
+    buddy_node: dict = field(default_factory=dict)  # index -> node holding copy 2
+    bytes_per_chare: dict = field(default_factory=dict)
+    taken_at: float = 0.0
+    cost_seconds: float = 0.0
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_per_chare.values())
+
+    def survives(self, failed_nodes) -> bool:
+        """True if every chare still has at least one live copy."""
+        failed = set(failed_nodes)
+        return all(
+            self.home_node[i] not in failed or self.buddy_node[i] not in failed
+            for i in self.states
+        )
+
+    def lost_chares(self, failed_nodes) -> list:
+        failed = set(failed_nodes)
+        return [
+            i for i in self.states
+            if self.home_node[i] in failed and self.buddy_node[i] in failed
+        ]
+
+
+def _default_state_bytes(state: dict) -> int:
+    total = _ENVELOPE
+    for value in state.values():
+        nbytes = getattr(value, "nbytes", None)
+        if nbytes is not None:
+            total += int(nbytes)
+        elif isinstance(value, (bytes, bytearray, str)):
+            total += len(value)
+        else:
+            total += 8
+    return total
+
+
+def take_checkpoint(
+    runtime,
+    array,
+    state_bytes: Optional[Callable[[dict], int]] = None,
+) -> Checkpoint:
+    """Checkpoint ``array`` at quiescence (double in-memory, buddy node =
+    next node).  Advances the engine by the modeled buddy-transfer time;
+    the cost is recorded on the returned :class:`Checkpoint`.
+    """
+    engine = runtime.engine
+    engine.run()  # drain any pending bookkeeping events; quiesce
+    if runtime._live_frames > 0:
+        raise SimulationError("checkpoint requires quiescence (live frames remain)")
+    n_nodes = runtime.cluster.n_nodes
+    per_node = runtime.cluster.spec.node.pes_per_node
+    size_of = state_bytes or _default_state_bytes
+    ckpt = Checkpoint(shape=array.shape, taken_at=engine.now)
+    per_pe_bytes: dict[int, int] = {}
+    for index, chare in array.elements.items():
+        pup = getattr(chare, "pup", None)
+        if pup is None:
+            raise SimulationError(
+                f"{chare!r} has no pup() method; checkpointing needs one"
+            )
+        if chare._frames:
+            raise SimulationError(f"{chare!r} has live frames; not at quiescence")
+        state = pup()
+        if not isinstance(state, dict):
+            raise SimulationError(f"{chare!r}.pup() must return a dict")
+        pe = array.mapping[index]
+        home = pe // per_node
+        size = size_of(state)
+        ckpt.states[index] = state
+        ckpt.home_node[index] = home
+        ckpt.buddy_node[index] = (home + 1) % n_nodes if n_nodes > 1 else home
+        ckpt.bytes_per_chare[index] = size
+        per_pe_bytes[pe] = per_pe_bytes.get(pe, 0) + size
+    # Modeled cost: each PE streams its chares' state to the buddy node.
+    start = engine.now
+    if n_nodes > 1:
+        transfers = [
+            runtime.cluster.network.transfer(
+                NetMessage(pe, (pe + per_node) % (n_nodes * per_node), size,
+                           tag=("ckpt", pe))
+            )
+            for pe, size in per_pe_bytes.items()
+        ]
+        engine.run_until_complete(*transfers)
+    ckpt.cost_seconds = engine.now - start
+    return ckpt
+
+
+def restore_array(array, checkpoint: Checkpoint,
+                  failed_nodes=()) -> int:
+    """Feed a freshly-created array its checkpointed states via ``unpup``.
+
+    ``array`` may live on a different runtime/cluster with a different node
+    count — the chare *count* must match (``array.shape ==
+    checkpoint.shape``).  Raises if ``failed_nodes`` destroyed both copies
+    of any chare.  Returns the number of chares restored.
+    """
+    if tuple(array.shape) != tuple(checkpoint.shape):
+        raise ValueError(
+            f"array shape {array.shape} != checkpoint shape {checkpoint.shape}"
+        )
+    if not checkpoint.survives(failed_nodes):
+        lost = checkpoint.lost_chares(failed_nodes)
+        raise SimulationError(
+            f"checkpoint lost with nodes {sorted(set(failed_nodes))}: both "
+            f"copies of {len(lost)} chares gone (e.g. {lost[:3]})"
+        )
+    for index, state in checkpoint.states.items():
+        chare = array.elements[index]
+        unpup = getattr(chare, "unpup", None)
+        if unpup is None:
+            raise SimulationError(f"{chare!r} has no unpup() method")
+        unpup(state)
+    return len(checkpoint.states)

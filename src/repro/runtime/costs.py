@@ -1,0 +1,66 @@
+"""Charm++ runtime overhead constants.
+
+These are the per-message / per-task costs the paper identifies as the
+price of overdecomposition ("overheads from the Charm++ runtime system
+including scheduling chares, location management, and packing/unpacking
+messages", §IV-B).  They are what makes ODF-1 optimal for the tiny 192³
+problem (Fig. 7b) while ODF-4 wins at 1536³ (Fig. 7a).
+
+Calibrated against published Charm++ fine-grained benchmarks (~1-3 µs per
+message end to end on POWER9-class cores).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RuntimeCosts", "MsgPriority"]
+
+US = 1e-6
+
+
+class MsgPriority:
+    """Queue priorities for the message-driven scheduler (lower = sooner).
+
+    Communication-related work outranks ordinary entry methods, matching the
+    paper's high-priority streams and callback handling.
+    """
+
+    GPU_COMPLETION = 1.0  # HAPI callbacks / channel completion callbacks
+    HALO_DATA = 2.0  # halo payload entry messages
+    NORMAL = 5.0  # everything else
+
+
+@dataclass(frozen=True)
+class RuntimeCosts:
+    """CPU-time costs charged to the PE by the runtime.
+
+    Attributes
+    ----------
+    scheduling_overhead_s:
+        Popping a message off the queue and reading its envelope.
+    entry_dispatch_s:
+        Dispatching to the target chare's entry method.
+    resume_overhead_s:
+        Resuming a suspended SDAG continuation.
+    send_overhead_s:
+        Building and enqueueing an outgoing message.
+    location_lookup_s:
+        Array-element location management per remote send.
+    local_delivery_s:
+        Latency of a same-PE message enqueue.
+    envelope_bytes:
+        Wire overhead added to every entry-method payload.
+    hapi_poll_s:
+        Delay between a GPU operation completing and the runtime noticing
+        (Hybrid API completion polling granularity).
+    """
+
+    scheduling_overhead_s: float = 1.0 * US
+    entry_dispatch_s: float = 0.7 * US
+    resume_overhead_s: float = 0.5 * US
+    send_overhead_s: float = 1.0 * US
+    location_lookup_s: float = 0.3 * US
+    local_delivery_s: float = 0.2 * US
+    envelope_bytes: int = 96
+    hapi_poll_s: float = 1.0 * US

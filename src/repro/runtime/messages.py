@@ -1,0 +1,49 @@
+"""Runtime message and scheduler-queue item types."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from .costs import MsgPriority
+
+__all__ = ["EntryMessage", "Resume", "queue_priority"]
+
+_seq = itertools.count()
+
+
+@dataclass
+class EntryMessage:
+    """An entry-method invocation (or mailbox deposit) for one chare.
+
+    ``method`` names either a real method on the chare class (invoked) or a
+    mailbox tag consumed by ``when`` (buffered until awaited).  ``ref`` is
+    the SDAG reference number used for matching (the paper matches the halo
+    message's iteration number against the block's).
+    """
+
+    array_id: int
+    index: Any
+    method: str
+    ref: Any = None
+    payload: Any = None
+    data_bytes: int = 0
+    priority: float = MsgPriority.NORMAL
+    src_pe: int = -1
+    seq: int = field(default_factory=lambda: next(_seq))
+
+
+@dataclass
+class Resume:
+    """Wake-up for a suspended SDAG continuation (HAPI callback etc.)."""
+
+    frame: Any
+    value: Any = None
+    priority: float = MsgPriority.GPU_COMPLETION
+    seq: int = field(default_factory=lambda: next(_seq))
+
+
+def queue_priority(item) -> float:
+    """Priority key for the scheduler's message queue."""
+    return item.priority

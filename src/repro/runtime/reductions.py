@@ -1,0 +1,128 @@
+"""Array-wide reductions (``contribute``/allreduce).
+
+Modeled faithfully but simply: contributions combine locally per PE (free —
+pointer arithmetic), each PE sends one small partial message to the root
+PE, and the root broadcasts the result back with one message per PE; every
+chare then receives a local ``_reduction_result`` mailbox deposit.  Message
+costs ride the same simulated network as everything else.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable
+
+from ..hardware.network import Message as NetMessage
+from .costs import MsgPriority
+from .messages import EntryMessage
+
+__all__ = ["ReductionManager", "REDUCERS"]
+
+REDUCERS: dict[str, Callable[[Any, Any], Any]] = {
+    "sum": lambda a, b: a + b,
+    "max": max,
+    "min": min,
+    "prod": lambda a, b: a * b,
+}
+
+_PARTIAL_BYTES = 64  # envelope + one scalar
+
+
+class _ReductionState:
+    __slots__ = ("pe_partial", "pe_remaining", "pes_remaining", "accumulator", "started")
+
+    def __init__(self):
+        self.pe_partial: dict[int, Any] = {}
+        self.pe_remaining: dict[int, int] = {}
+        self.pes_remaining = 0
+        self.accumulator = None
+        self.started = False
+
+
+class ReductionManager:
+    """Tracks in-flight reductions for every chare array."""
+
+    def __init__(self, runtime):
+        self.runtime = runtime
+        self._states: dict[tuple, _ReductionState] = defaultdict(_ReductionState)
+        self.completed = 0
+
+    def contribute(self, chare, seq: int, value, op: str) -> None:
+        if op not in REDUCERS:
+            raise ValueError(f"unknown reduction op {op!r}; have {sorted(REDUCERS)}")
+        array = chare.array
+        key = (array.array_id, seq, op)
+        state = self._states[key]
+        if not state.started:
+            self._init_state(state, array)
+        reducer = REDUCERS[op]
+        pe = chare.pe.index
+        if pe not in state.pe_remaining:
+            raise RuntimeError("contribution from PE with no elements (mapping bug)")
+        state.pe_partial[pe] = (
+            value if state.pe_partial.get(pe) is None else reducer(state.pe_partial[pe], value)
+        )
+        state.pe_remaining[pe] -= 1
+        if state.pe_remaining[pe] == 0:
+            # This PE's partial is complete: one small message to the root.
+            self._send_partial(chare, key, state, pe)
+
+    def _init_state(self, state: _ReductionState, array) -> None:
+        state.started = True
+        counts: dict[int, int] = defaultdict(int)
+        for idx in array.elements:
+            counts[array.mapping[idx]] += 1
+        state.pe_remaining = dict(counts)
+        state.pe_partial = {pe: None for pe in counts}
+        state.pes_remaining = len(counts)
+
+    def _send_partial(self, chare, key, state: _ReductionState, pe: int) -> None:
+        runtime = self.runtime
+        root_pe = min(state.pe_remaining)
+        scheduler = runtime.scheduler_of(pe)
+
+        def thunk():
+            if pe == root_pe:
+                self._root_receive(key, state, pe)
+            else:
+                net_msg = NetMessage(pe, root_pe, _PARTIAL_BYTES,
+                                     tag=("red", key), priority=MsgPriority.GPU_COMPLETION)
+                runtime.cluster.network.transfer(net_msg).add_callback(
+                    lambda _e: self._root_receive(key, state, pe)
+                )
+
+        scheduler.post_send(runtime.costs.send_overhead_s, thunk)
+
+    def _root_receive(self, key, state: _ReductionState, from_pe: int) -> None:
+        reducer = REDUCERS[key[2]]
+        partial = state.pe_partial[from_pe]
+        state.accumulator = (
+            partial if state.accumulator is None else reducer(state.accumulator, partial)
+        )
+        state.pes_remaining -= 1
+        if state.pes_remaining == 0:
+            self._broadcast_result(key, state)
+
+    def _broadcast_result(self, key, state: _ReductionState) -> None:
+        runtime = self.runtime
+        array_id, seq, _op = key
+        array = runtime.array_by_id(array_id)
+        result = state.accumulator
+        root_pe = min(state.pe_partial)
+        for pe in state.pe_partial:
+            def deliver(pe=pe):
+                for chare in array.elements_on_pe(pe):
+                    runtime.scheduler_of(pe).enqueue(
+                        EntryMessage(array_id=array_id, index=chare.index,
+                                     method="_reduction_result", ref=seq,
+                                     payload=result, priority=MsgPriority.GPU_COMPLETION)
+                    )
+
+            if pe == root_pe:
+                deliver()
+            else:
+                net_msg = NetMessage(root_pe, pe, _PARTIAL_BYTES, tag=("redb", key),
+                                     priority=MsgPriority.GPU_COMPLETION)
+                runtime.cluster.network.transfer(net_msg).add_callback(lambda _e, d=deliver: d())
+        del self._states[key]
+        self.completed += 1

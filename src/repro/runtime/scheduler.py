@@ -1,0 +1,185 @@
+"""The per-PE message-driven scheduler (paper Fig. 2).
+
+One scheduler process runs per PE.  It pops prioritized items off its
+message queue and either (a) starts/dispatches an entry method on the
+target chare, (b) delivers a mailbox message — resuming an SDAG
+continuation waiting in a matching ``when`` — or (c) resumes a continuation
+woken by asynchronous completion detection (HAPI).
+
+All CPU costs (scheduling, dispatch, sends, kernel-launch calls) are
+charged here, serially, because the PE is a single core: a chare busy
+launching kernels delays every other chare on that PE — the fine-grained
+overhead that caps useful ODF in Figs. 7–9.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..sim import PriorityStore, SimulationError, trace
+from .chare import Frame
+from .commands import Await, Launch, LaunchGraph, When, Work
+from .messages import EntryMessage, Resume, queue_priority
+
+__all__ = ["Scheduler"]
+
+
+class Scheduler:
+    """Message-driven scheduler for one PE."""
+
+    def __init__(self, runtime, pe):
+        self.runtime = runtime
+        self.pe = pe
+        self.engine = runtime.engine
+        self.costs = runtime.costs
+        self.queue = PriorityStore(
+            self.engine, name=f"{pe.name}.msgq", priority=queue_priority
+        )
+        self._pending_charge = 0.0
+        self._outbox: list[Callable[[], None]] = []
+        self.messages_processed = 0
+        self._proc = self.engine.process(self._loop(), name=f"{pe.name}.sched")
+
+    # -- queue entry points ------------------------------------------------------
+    def enqueue(self, item) -> None:
+        self.queue.put_nowait(item)
+
+    def add_charge(self, seconds: float) -> None:
+        """Accumulate CPU cost, paid at the next flush point."""
+        self._pending_charge += seconds
+
+    def post_send(self, cost: float, thunk: Callable[[], None]) -> None:
+        """Register an outgoing communication action; it is charged and
+        executed at the issuing entry method's next yield point."""
+        self._pending_charge += cost
+        self._outbox.append(thunk)
+
+    # -- main loop ------------------------------------------------------------
+    def _loop(self):
+        costs = self.costs
+        while True:
+            item = yield self.queue.get()
+            self.messages_processed += 1
+            if isinstance(item, Resume):
+                if item.frame.finished:
+                    continue
+                # One combined charge: queue pop + continuation resume.
+                yield from self._busy(costs.scheduling_overhead_s + costs.resume_overhead_s)
+                yield from self._drive(item.frame, item.value)
+            elif isinstance(item, EntryMessage):
+                yield from self._dispatch(item)
+            else:  # pragma: no cover - guarded by types
+                raise SimulationError(f"unknown queue item {item!r}")
+
+    def _dispatch(self, msg: EntryMessage):
+        costs = self.costs
+        chare = self.runtime.chare_at(msg.array_id, msg.index)
+        if chare.pe is not self.pe:
+            raise SimulationError(
+                f"message for {chare!r} landed on wrong scheduler {self.pe.name}"
+            )
+        method = getattr(type(chare), msg.method, None)
+        # One combined charge: queue pop + envelope + entry dispatch.
+        yield from self._busy(costs.scheduling_overhead_s + costs.entry_dispatch_s)
+        if method is None:
+            # Mailbox deposit: resume a matching `when`, else buffer.
+            frame = chare._take_waiting_frame(msg.method, msg.ref)
+            if frame is not None:
+                yield from self._drive(frame, msg)
+            else:
+                chare._mailbox_push(msg)
+        elif _is_generator_function(method):
+            coroutine = method(chare, msg)
+            frame = Frame(chare, coroutine, name=f"{chare!r}.{msg.method}")
+            chare._frames.append(frame)
+            self.runtime._frame_started(frame)
+            yield from self._drive(frame, None)
+        else:
+            method(chare, msg)
+            yield from self._flush()
+
+    # -- SDAG continuation driver -----------------------------------------------
+    def _drive(self, frame: Frame, value):
+        coroutine = frame.coroutine
+        chare = frame.chare
+        while True:
+            try:
+                cmd = coroutine.send(value)
+            except StopIteration:
+                frame.finished = True
+                chare._frames.remove(frame)
+                yield from self._flush()
+                self.runtime._frame_finished(frame)
+                return
+            value = None
+            if isinstance(cmd, Work):
+                yield from self._flush()
+                yield from self._busy(cmd.seconds)
+            elif isinstance(cmd, Launch):
+                yield from self._flush()
+                yield from self._busy(cmd.stream.device.cpu_launch_cost(cmd.work))
+                value = cmd.stream.enqueue(
+                    cmd.work, name=cmd.name, wait_events=list(cmd.wait_events)
+                )
+            elif isinstance(cmd, LaunchGraph):
+                yield from self._flush()
+                yield from self._busy(cmd.exec.cpu_launch_cost)
+                value = cmd.exec.launch(priority=cmd.priority, after=list(cmd.after))
+            elif isinstance(cmd, When):
+                msg = chare._mailbox_pop(cmd.method, cmd.ref)
+                if msg is not None:
+                    value = msg
+                    continue
+                yield from self._flush()
+                frame.waiting_when = cmd
+                return
+            elif isinstance(cmd, Await):
+                yield from self._flush()
+                event = cmd.event
+                if event.processed:
+                    value = event.value
+                    continue
+                self._register_wakeup(frame, event, cmd.priority)
+                return
+            else:
+                frame.finished = True
+                chare._frames.remove(frame)
+                self.runtime._frame_finished(frame)
+                raise SimulationError(
+                    f"{frame.name} yielded {cmd!r}; entry methods must yield Commands"
+                )
+
+    def _register_wakeup(self, frame: Frame, event, priority: float) -> None:
+        """Asynchronous completion detection: when ``event`` fires, a Resume
+        enters the queue after the HAPI polling delay."""
+        poll = self.costs.hapi_poll_s
+
+        def on_fire(ev):
+            self.engine.timeout(poll).add_callback(
+                lambda _t: self.enqueue(Resume(frame, ev.value, priority))
+            )
+
+        event.add_callback(on_fire)
+
+    # -- cost accounting -----------------------------------------------------------
+    def _busy(self, seconds: float):
+        if seconds > 0:
+            token = self.pe.busy.begin()
+            yield self.engine.timeout(seconds)
+            self.pe.busy.end(token)
+
+    def _flush(self):
+        """Charge accumulated CPU cost, then release queued sends."""
+        if self._pending_charge > 0:
+            charge, self._pending_charge = self._pending_charge, 0.0
+            yield from self._busy(charge)
+        if self._outbox:
+            outbox, self._outbox = self._outbox, []
+            for thunk in outbox:
+                thunk()
+
+
+def _is_generator_function(fn) -> bool:
+    import inspect
+
+    return inspect.isgeneratorfunction(fn)

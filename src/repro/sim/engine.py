@@ -1,0 +1,444 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, generator-based DES in the style of SimPy, written
+from scratch for this reproduction.  Simulated entities are *processes*:
+plain Python generators that ``yield`` events (timeouts, other events,
+other processes, or ``AllOf``/``AnyOf`` combinations) and are resumed by the
+:class:`Engine` when those events trigger.
+
+Determinism rules
+-----------------
+* The event heap orders by ``(time, priority, sequence)``; the sequence
+  number breaks ties in scheduling order, so two runs of the same program
+  interleave identically.
+* All randomness must come from :mod:`repro.sim.rng` named streams.
+
+Example
+-------
+>>> eng = Engine()
+>>> log = []
+>>> def proc(name, delay):
+...     yield eng.timeout(delay)
+...     log.append((eng.now, name))
+>>> _ = eng.process(proc("a", 2.0)); _ = eng.process(proc("b", 1.0))
+>>> eng.run()
+>>> log
+[(1.0, 'b'), (2.0, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from .errors import EventAlreadyTriggered, ProcessCrashed, SimulationError, StopEngine
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "PENDING",
+    "TRIGGERED",
+    "PROCESSED",
+]
+
+# Event lifecycle states.
+PENDING = 0  # not yet succeeded/failed
+TRIGGERED = 1  # succeeded/failed, callbacks scheduled but not yet run
+PROCESSED = 2  # callbacks have run
+
+# Scheduling priorities: lower runs first at equal times.  URGENT is used for
+# internal bookkeeping (e.g. condition evaluation) so user-visible ordering
+# stays intuitive.
+URGENT = 0
+NORMAL = 1
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*, is *triggered* exactly once via
+    :meth:`succeed` or :meth:`fail`, and becomes *processed* once its
+    callbacks have executed at the trigger time.
+    """
+
+    __slots__ = ("engine", "callbacks", "_value", "_state", "_ok", "name")
+
+    def __init__(self, engine: "Engine", name: str = ""):
+        self.engine = engine
+        self.callbacks: list[Callable[[Event], None]] = []
+        self._value: Any = None
+        self._state = PENDING
+        self._ok = True
+        self.name = name
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has succeeded or failed."""
+        return self._state != PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._state == PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value passed to :meth:`succeed` (or the failure exception)."""
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._state != PENDING:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        self._state = TRIGGERED
+        self._ok = True
+        self._value = value
+        self.engine._push(0.0, priority, self)
+        return self
+
+    def fail(self, exc: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event as failed; ``exc`` is thrown into waiters."""
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        if self._state != PENDING:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        self._state = TRIGGERED
+        self._ok = False
+        self._value = exc
+        self.engine._push(0.0, priority, self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the event is processed.
+
+        If the event has already been processed the callback fires
+        immediately (at the current simulation time).
+        """
+        if self._state == PROCESSED:
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def _process(self) -> None:
+        self._state = PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = {PENDING: "pending", TRIGGERED: "triggered", PROCESSED: "processed"}[self._state]
+        label = f" {self.name!r}" if self.name else ""
+        return f"<{type(self).__name__}{label} {state} at t={self.engine.now:g}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, engine: "Engine", delay: float, value: Any = None, name: str = ""):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(engine, name=name)
+        self.delay = delay
+        self._state = TRIGGERED
+        self._ok = True
+        self._value = value
+        engine._push(delay, NORMAL, self)
+
+
+class _ConditionBase(Event):
+    """Shared machinery for :class:`AllOf` / :class:`AnyOf`."""
+
+    __slots__ = ("events", "_n_done")
+
+    def __init__(self, engine: "Engine", events: Iterable[Event], name: str = ""):
+        super().__init__(engine, name=name)
+        self.events = tuple(events)
+        for ev in self.events:
+            if ev.engine is not engine:
+                raise SimulationError("cannot mix events from different engines")
+        self._n_done = 0
+        if not self.events:
+            self.succeed(self._result())
+            return
+        for ev in self.events:
+            ev.add_callback(self._on_child)
+
+    def _result(self) -> list[Any]:
+        return [ev.value for ev in self.events if ev.processed and ev.ok]
+
+    def _on_child(self, ev: Event) -> None:
+        if self._state != PENDING:
+            return
+        if not ev.ok:
+            self.fail(ev.value, priority=URGENT)
+            return
+        self._n_done += 1
+        if self._check():
+            self.succeed(self._result(), priority=URGENT)
+
+    def _check(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_ConditionBase):
+    """Triggers once *all* child events have triggered.
+
+    The value is the list of child values in child order.
+    """
+
+    __slots__ = ()
+
+    def _result(self) -> list[Any]:
+        return [ev.value for ev in self.events]
+
+    def _check(self) -> bool:
+        return self._n_done == len(self.events)
+
+
+class AnyOf(_ConditionBase):
+    """Triggers once *any* child event has triggered.
+
+    The value is the list of values of children processed so far.
+    """
+
+    __slots__ = ()
+
+    def _check(self) -> bool:
+        return self._n_done >= 1
+
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running simulated activity wrapping a generator.
+
+    The process is itself an :class:`Event` that triggers with the
+    generator's return value when it finishes (or fails with its unhandled
+    exception).
+    """
+
+    __slots__ = ("_generator", "_waiting_on")
+
+    def __init__(self, engine: "Engine", generator: ProcessGenerator, name: str = ""):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"process requires a generator, got {type(generator).__name__}")
+        super().__init__(engine, name=name or getattr(generator, "__name__", ""))
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Kick off at the current time via an immediately-triggered event.
+        start = Event(engine, name="<start>")
+        start._state = TRIGGERED
+        start._ok = True
+        engine._push(0.0, NORMAL, start)
+        start.add_callback(self._resume)
+        self._waiting_on = start
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._state == PENDING
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        from .errors import Interrupt
+
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt a finished process")
+        if self._waiting_on is not None:
+            target = self._waiting_on
+            if self._resume in target.callbacks:
+                target.callbacks.remove(self._resume)
+        wake = Event(self.engine, name="<interrupt>")
+        wake._state = TRIGGERED
+        wake._ok = False
+        wake._value = Interrupt(cause)
+        self.engine._push(0.0, URGENT, wake)
+        wake.add_callback(self._resume)
+        self._waiting_on = wake
+
+    def _resume(self, trigger: Event) -> None:
+        if self._state != PENDING:  # stale wakeup after the process finished
+            return
+        self._waiting_on = None
+        engine = self.engine
+        engine._active_process = self
+        try:
+            if trigger.ok:
+                target = self._generator.send(trigger.value)
+            else:
+                target = self._generator.throw(trigger.value)
+        except StopIteration as stop:
+            engine._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate as failure
+            engine._active_process = None
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self.fail(exc)
+            return
+        engine._active_process = None
+        if not isinstance(target, Event):
+            crash = SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must yield Event objects"
+            )
+            self._generator.close()
+            self.fail(crash)
+            return
+        if target.engine is not self.engine:
+            self._generator.close()
+            self.fail(SimulationError("yielded event belongs to a different engine"))
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class Engine:
+    """The simulation clock and event loop.
+
+    Attributes
+    ----------
+    now:
+        Current simulation time (seconds by convention throughout
+        :mod:`repro`).
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self.now = float(start_time)
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+        self.tracer = None  # set by sim.tracing.Tracer.attach()
+
+    # -- event construction ------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """A fresh pending event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None, name: str = "") -> Timeout:
+        """An event triggering ``delay`` after now."""
+        return Timeout(self, delay, value=value, name=name)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Start a new process from ``generator`` at the current time."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event], name: str = "") -> AllOf:
+        """An event triggering when all of ``events`` have triggered."""
+        return AllOf(self, events, name=name)
+
+    def any_of(self, events: Iterable[Event], name: str = "") -> AnyOf:
+        """An event triggering when any of ``events`` has triggered."""
+        return AnyOf(self, events, name=name)
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- scheduling --------------------------------------------------------
+    def _push(self, delay: float, priority: int, event: Event) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._heap, (self.now + delay, priority, self._seq, event))
+        self._seq += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one scheduled event."""
+        time, _prio, _seq, event = heapq.heappop(self._heap)
+        if time < self.now:
+            raise SimulationError("event heap corrupted: time went backwards")
+        self.now = time
+        event._process()
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the heap drains, ``until`` is reached, or ``max_events``.
+
+        Parameters
+        ----------
+        until:
+            Stop (with ``now = until``) before processing events scheduled
+            after this time.
+        max_events:
+            Safety valve: raise :class:`SimulationError` after this many
+            events (catches accidental infinite event loops in tests).
+
+        Raises
+        ------
+        ProcessCrashed
+            If any process dies with an unhandled exception and nobody is
+            waiting on it.
+        """
+        count = 0
+        try:
+            while self._heap:
+                if until is not None and self.peek() > until:
+                    self.now = until
+                    return
+                time, _prio, _seq, event = heapq.heappop(self._heap)
+                self.now = time
+                watched = bool(event.callbacks)
+                event._process()
+                if isinstance(event, Process) and not event.ok and not watched:
+                    self._raise_crash(event)
+                count += 1
+                if max_events is not None and count > max_events:
+                    raise SimulationError(f"exceeded max_events={max_events}")
+        except StopEngine:
+            return
+        if until is not None and until > self.now:
+            self.now = until
+
+    def run_until_complete(self, *events: Event, max_events: Optional[int] = None) -> list[Any]:
+        """Run until every event in ``events`` has triggered; return values.
+
+        Raises :class:`ProcessCrashed` if a watched process failed.
+        """
+        done = self.all_of(events)
+        while not done.triggered and self._heap:
+            time, _prio, _seq, event = heapq.heappop(self._heap)
+            self.now = time
+            event._process()
+            if max_events is not None:
+                max_events -= 1
+                if max_events < 0:
+                    raise SimulationError("exceeded max_events in run_until_complete")
+        if not done.triggered:
+            raise SimulationError("event heap drained before awaited events triggered (deadlock?)")
+        if not done.ok:
+            self._raise_crash_value(done.value)
+        return done.value
+
+    def stop(self) -> None:
+        """Stop :meth:`run` at the current time (from inside a callback)."""
+        raise StopEngine()
+
+    @staticmethod
+    def _raise_crash(process: Process) -> None:
+        exc = process.value
+        raise ProcessCrashed(f"process {process.name!r} crashed: {exc!r}") from exc
+
+    @staticmethod
+    def _raise_crash_value(exc: BaseException) -> None:
+        raise ProcessCrashed(f"awaited event failed: {exc!r}") from exc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Engine t={self.now:g} pending={len(self._heap)}>"

@@ -1,0 +1,37 @@
+"""Exception types for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all simulation-kernel errors."""
+
+
+class EventAlreadyTriggered(SimulationError):
+    """Raised when an event is succeeded or failed more than once."""
+
+
+class ProcessCrashed(SimulationError):
+    """Raised out of :meth:`Engine.run` when a process dies with an
+    unhandled exception.
+
+    The original exception is available as ``__cause__``.
+    """
+
+
+class Interrupt(SimulationError):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    Parameters
+    ----------
+    cause:
+        Arbitrary object describing why the process was interrupted.
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class StopEngine(SimulationError):
+    """Raised internally to end :meth:`Engine.run` early."""

@@ -1,0 +1,140 @@
+"""Tests for series containers, rendering, and crossover analysis."""
+
+import pytest
+
+from repro.analysis import (
+    FigureData,
+    Series,
+    best_label_per_x,
+    crossover_x,
+    render_figure,
+    render_plot,
+    render_table,
+    speedup_series,
+)
+
+
+def make_fig():
+    fig = FigureData("figX", "Test figure", "nodes", "time (s)")
+    a = fig.new_series("fast")
+    b = fig.new_series("slow")
+    for x in (1, 2, 4):
+        a.add(x, 1.0 / x)
+        b.add(x, 2.0 / x)
+    return fig
+
+
+def test_series_add_and_access():
+    s = Series("s")
+    s.add(1, 10.0, note="x")
+    s.add(2, 5.0)
+    assert s.xs() == [1, 2]
+    assert s.ys() == [10.0, 5.0]
+    assert s.y_at(2) == 5.0
+    assert s.meta[0] == {"note": "x"}
+    assert len(s) == 2
+    with pytest.raises(KeyError):
+        s.y_at(3)
+
+
+def test_figure_duplicate_series_rejected():
+    fig = make_fig()
+    with pytest.raises(ValueError):
+        fig.new_series("fast")
+
+
+def test_figure_json_roundtrip(tmp_path):
+    fig = make_fig()
+    fig.note("hello")
+    path = tmp_path / "fig.json"
+    fig.save_json(path)
+    back = FigureData.load_json(path)
+    assert back.figure_id == "figX"
+    assert back.series["fast"].points == fig.series["fast"].points
+    assert back.notes == ["hello"]
+
+
+def test_render_table_contains_all_values():
+    text = render_table(make_fig())
+    assert "fast" in text and "slow" in text
+    assert "0.25" in text  # fast at x=4
+    assert "nodes" in text
+
+
+def test_render_table_missing_point_dash():
+    fig = make_fig()
+    fig.series["fast"].add(8, 0.125)
+    text = render_table(fig)
+    assert "-" in text.splitlines()[-1]  # slow has no x=8
+
+
+def test_render_plot_draws_marks():
+    text = render_plot(make_fig())
+    assert "o" in text and "x" in text
+    assert "fast" in text and "slow" in text
+
+
+def test_render_plot_empty():
+    fig = FigureData("e", "Empty", "x", "y")
+    fig.new_series("nothing")
+    assert "no data" in render_plot(fig)
+
+
+def test_render_figure_includes_notes():
+    fig = make_fig()
+    fig.note("calibration note")
+    text = render_figure(fig)
+    assert "calibration note" in text
+    assert "figX" in text
+
+
+# ---------------------------------------------------------------------------
+# Crossover analysis
+# ---------------------------------------------------------------------------
+
+
+def crossing_series():
+    hi = Series("ODF-4")
+    lo = Series("ODF-2")
+    for x, y4, y2 in [(1, 1.0, 1.5), (2, 0.9, 1.0), (4, 0.8, 0.7), (8, 0.7, 0.5)]:
+        hi.add(x, y4)
+        lo.add(x, y2)
+    return {"ODF-4": hi, "ODF-2": lo}
+
+
+def test_best_label_per_x():
+    best = best_label_per_x(crossing_series())
+    assert best == {1: "ODF-4", 2: "ODF-4", 4: "ODF-2", 8: "ODF-2"}
+
+
+def test_best_label_empty():
+    assert best_label_per_x({}) == {}
+
+
+def test_crossover_x_found():
+    assert crossover_x(crossing_series(), "ODF-4", "ODF-2") == 4
+
+
+def test_crossover_x_never():
+    series = crossing_series()
+    assert crossover_x(series, "ODF-2", "ODF-4") is None
+
+
+def test_crossover_requires_sustained_win():
+    a = Series("a")
+    b = Series("b")
+    for x, ya, yb in [(1, 1.0, 0.9), (2, 1.0, 1.2), (4, 1.0, 0.8), (8, 1.0, 0.7)]:
+        a.add(x, ya)
+        b.add(x, yb)
+    # b dips below at x=1 but loses at x=2; the sustained crossover is x=4.
+    assert crossover_x({"a": a, "b": b}, "a", "b") == 4
+
+
+def test_speedup_series():
+    base = Series("base")
+    other = Series("other")
+    for x in (1, 2):
+        base.add(x, 2.0)
+        other.add(x, 1.0)
+    sp = speedup_series(base, other)
+    assert sp.ys() == [2.0, 2.0]

@@ -1,0 +1,40 @@
+"""Unit tests for protocol selection."""
+
+import pytest
+
+from repro.comm import Protocol, select_protocol
+from repro.hardware import KiB, MiB, UcxSpec
+
+SPEC = UcxSpec()
+
+
+@pytest.mark.parametrize("size", [0, 1, 8 * KiB])
+def test_small_messages_are_eager_host_and_device(size):
+    assert select_protocol(SPEC, size, on_device=True) is Protocol.EAGER
+    assert select_protocol(SPEC, size, on_device=False) is Protocol.EAGER
+
+
+def test_medium_device_uses_gpudirect():
+    assert select_protocol(SPEC, 96 * KiB, on_device=True) is Protocol.RNDV_GPUDIRECT
+    assert select_protocol(SPEC, 1 * MiB, on_device=True) is Protocol.RNDV_GPUDIRECT
+
+
+def test_large_device_uses_pipelined_host_staging():
+    # The paper's 9 MB halos at the 1536^3 weak-scaling size.
+    assert select_protocol(SPEC, 9 * MiB, on_device=True) is Protocol.RNDV_PIPELINED
+    assert select_protocol(SPEC, 1 * MiB + 1, on_device=True) is Protocol.RNDV_PIPELINED
+
+
+def test_host_buffers_never_pipeline():
+    assert select_protocol(SPEC, 9 * MiB, on_device=False) is Protocol.RNDV_HOST
+    assert select_protocol(SPEC, 96 * KiB, on_device=False) is Protocol.RNDV_HOST
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        select_protocol(SPEC, -1, on_device=False)
+
+
+def test_threshold_ablation_changes_selection():
+    spec = UcxSpec(device_pipeline_threshold=16 * MiB)
+    assert select_protocol(spec, 9 * MiB, on_device=True) is Protocol.RNDV_GPUDIRECT

@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_run_command_prints_metrics(capsys):
+    rc = main(["run", "--version", "charm-d", "--nodes", "1",
+               "--grid", "96", "96", "96", "--odf", "2", "--iterations", "4"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "time/iteration" in out
+    assert "charm-d" in out
+    assert "protocol" in out
+
+
+def test_run_functional_mode(capsys):
+    rc = main(["run", "--version", "mpi-h", "--grid", "24", "24", "24",
+               "--iterations", "2", "--warmup", "0", "--functional"])
+    assert rc == 0
+    assert "mpi-h" in capsys.readouterr().out
+
+
+def test_run_with_fusion_and_graphs(capsys):
+    rc = main(["run", "--version", "charm-d", "--grid", "96", "96", "96",
+               "--odf", "2", "--fusion", "C", "--graphs", "--iterations", "3"])
+    assert rc == 0
+
+
+def test_figure_command_with_custom_ladder(capsys):
+    rc = main(["figure", "7b", "--nodes", "1", "2", "--no-plot", "--quiet"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "fig7b" in out
+    assert "PASS" in out
+
+
+def test_figure_save_json(tmp_path, capsys):
+    path = tmp_path / "fig.json"
+    rc = main(["figure", "7b", "--nodes", "1", "--no-plot", "--quiet",
+               "--save", str(path)])
+    assert rc == 0
+    data = json.loads(path.read_text())
+    assert data["figure_id"] == "fig7b"
+
+
+def test_sweep_command(capsys):
+    rc = main(["sweep", "--base", "192", "--nodes", "2", "--odfs", "1", "2"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "best ODF" in out
+
+
+def test_unknown_figure_rejected():
+    with pytest.raises(SystemExit):
+        main(["figure", "42"])
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])

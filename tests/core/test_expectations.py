@@ -1,0 +1,120 @@
+"""Tests for the shape-claim checkers (on synthetic figure data)."""
+
+from repro.analysis import FigureData
+from repro.core import (
+    Claim,
+    check_figure6,
+    check_figure7a,
+    check_figure7b,
+    check_figure8,
+    check_figure9,
+    check_odf_sweep,
+    render_claims,
+)
+
+
+def test_claim_str():
+    good = Claim("works", True, "detail here")
+    bad = Claim("broken", False)
+    assert "PASS" in str(good) and "detail here" in str(good)
+    assert "FAIL" in str(bad)
+    text = render_claims([good, bad])
+    assert text.count("\n") == 1
+
+
+def fig6_synth(opt_faster=True):
+    fig = FigureData("fig6a", "t", "nodes", "s")
+    legacy = fig.new_series("charm-h legacy")
+    opt = fig.new_series("charm-h optimized")
+    for x in (1, 2, 4):
+        legacy.add(x, 1.0)
+        opt.add(x, 0.9 if opt_faster else 1.1)
+    return fig
+
+
+def test_check_figure6_pass_and_fail():
+    assert all(c.ok for c in check_figure6(fig6_synth(True)))
+    assert not all(c.ok for c in check_figure6(fig6_synth(False)))
+
+
+def fig7_synth(invert=False):
+    fig = FigureData("fig7a", "t", "nodes", "s")
+    vals = {
+        "MPI-H": [1.0, 1.2, 1.5, 1.9],
+        "MPI-D": [1.0, 1.2, 2.0, 2.6],
+        "Charm-H (ODF 4)": [0.9, 0.95, 1.0, 1.05],
+        "Charm-D (ODF 4)": [0.95, 1.1, 1.3, 1.5],
+    }
+    if invert:
+        vals["Charm-D (ODF 4)"] = [0.5, 0.5, 0.5, 0.5]  # breaks degradation claim
+    for label, ys in vals.items():
+        s = fig.new_series(label)
+        for x, y in zip((1, 2, 8, 16), ys):
+            s.add(x, y)
+    return fig
+
+
+def test_check_figure7a_pass():
+    assert all(c.ok for c in check_figure7a(fig7_synth()))
+
+
+def test_check_figure7a_detects_inversion():
+    claims = check_figure7a(fig7_synth(invert=True))
+    assert any(not c.ok for c in claims)
+
+
+def test_check_figure7b_all_thresholds():
+    fig = FigureData("fig7b", "t", "nodes", "s")
+    for label, base in (("MPI-H", 2e-4), ("MPI-D", 1.5e-4),
+                        ("Charm-H (ODF 1)", 1.8e-4), ("Charm-D (ODF 1)", 1.4e-4)):
+        s = fig.new_series(label)
+        for x in (1, 2, 4):
+            s.add(x, base * x**0.2)
+    assert all(c.ok for c in check_figure7b(fig))
+
+
+def fig8_synth(last_x=64):
+    fig = FigureData("fig8", "t", "nodes", "s")
+    speed = {"baseline": 1.0, "fusion-A": 0.9, "fusion-B": 0.8, "fusion-C": 0.7}
+    for odf, scale in ((1, 1.0), (8, 2.0)):
+        for name, f in speed.items():
+            s = fig.new_series(f"ODF-{odf} {name}")
+            for x in (1, last_x):
+                # Gains shown only at the large end.
+                s.add(x, scale * (1.0 if x == 1 else f * (0.8 if odf == 8 else 1.0)))
+    return fig
+
+
+def test_check_figure8_pass_at_scale():
+    assert all(c.ok for c in check_figure8(fig8_synth()))
+
+
+def test_check_figure8_small_ladder_uses_neutral_claim():
+    claims = check_figure8(fig8_synth(last_x=16))
+    assert any("neutral" in c.name for c in claims)
+
+
+def test_check_figure9():
+    fig = FigureData("fig9", "t", "nodes", "x")
+    data = {
+        "ODF-1 baseline": [1.0, 1.02],
+        "ODF-1 fusion-C": [1.0, 1.0],
+        "ODF-8 baseline": [1.1, 1.5],
+        "ODF-8 fusion-C": [1.0, 1.05],
+    }
+    for label, ys in data.items():
+        s = fig.new_series(label)
+        for x, y in zip((1, 16), ys):
+            s.add(x, y)
+    assert all(c.ok for c in check_figure9(fig))
+
+
+def test_check_odf_sweep():
+    fig = FigureData("odf_sweep", "t", "ODF", "s")
+    s = fig.new_series("charm-h")
+    for odf, y in ((1, 1.0), (2, 0.8), (4, 0.7), (8, 0.75), (16, 0.9)):
+        s.add(odf, y)
+    ok = check_odf_sweep(fig, {"charm-h": (4, 8)})
+    assert all(c.ok for c in ok)
+    bad = check_odf_sweep(fig, {"charm-h": (16,)})
+    assert not all(c.ok for c in bad)

@@ -1,0 +1,56 @@
+"""Test the EXPERIMENTS.md generator against synthetic saved results."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis import FigureData
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+
+def test_generator_handles_missing_and_present_results(tmp_path):
+    results = tmp_path / "results"
+    results.mkdir()
+    # One present figure (synthetic but claim-passing), everything else missing.
+    fig = FigureData("fig6a", "t", "nodes", "time/iter (s)")
+    legacy = fig.new_series("charm-h legacy")
+    opt = fig.new_series("charm-h optimized")
+    for x in (1, 2, 4):
+        legacy.add(x, 1.0)
+        opt.add(x, 0.9)
+    fig.save_json(results / "fig6a.json")
+
+    out = tmp_path / "EXP.md"
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "scripts" / "generate_experiments.py"),
+         str(results), str(out)],
+        capture_output=True, text=True, cwd=REPO,
+    )
+    assert proc.returncode == 0, proc.stderr
+    text = out.read_text()
+    assert "# EXPERIMENTS" in text
+    assert "Fig. 6a" in text
+    assert "✅ optimized never slower than legacy" in text
+    assert text.count("no saved results") >= 5  # the missing figures are flagged
+    assert "machine-checked shape claims pass" in text
+
+
+def test_generator_flags_failing_claims(tmp_path):
+    results = tmp_path / "results"
+    results.mkdir()
+    fig = FigureData("fig6a", "t", "nodes", "time/iter (s)")
+    legacy = fig.new_series("charm-h legacy")
+    opt = fig.new_series("charm-h optimized")
+    for x in (1, 2):
+        legacy.add(x, 1.0)
+        opt.add(x, 1.2)  # optimization made it slower: claim must fail
+    fig.save_json(results / "fig6a.json")
+    out = tmp_path / "EXP.md"
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "scripts" / "generate_experiments.py"),
+         str(results), str(out)],
+        capture_output=True, text=True, cwd=REPO,
+    )
+    assert proc.returncode == 1  # nonzero when any claim fails
+    assert "❌" in out.read_text()

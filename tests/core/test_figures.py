@@ -1,0 +1,102 @@
+"""Tests for the figure generators (tiny ladders; shapes checked in
+tests/integration)."""
+
+import pytest
+
+from repro.core import (
+    FULL_NODES,
+    QUICK_NODES,
+    figure6,
+    figure7a,
+    figure7c,
+    iterations_for,
+    odf_sweep,
+    strong_grid,
+    weak_grid,
+)
+
+
+def test_weak_grid_doubling_schedule():
+    base = (1536, 1536, 1536)
+    assert weak_grid(base, 1) == base
+    assert weak_grid(base, 2) == (1536, 1536, 3072)
+    assert weak_grid(base, 4) == (1536, 3072, 3072)
+    assert weak_grid(base, 8) == (3072, 3072, 3072)  # paper's equivalence
+    assert weak_grid(base, 64) == (6144, 6144, 6144)
+
+
+def test_weak_grid_power_of_two_only():
+    with pytest.raises(ValueError):
+        weak_grid((192, 192, 192), 3)
+
+
+def test_weak_grid_preserves_per_node_volume():
+    base = (192, 192, 192)
+    for n in (1, 2, 4, 8, 16, 32):
+        g = weak_grid(base, n)
+        assert g[0] * g[1] * g[2] == n * base[0] * base[1] * base[2]
+
+
+def test_strong_grid():
+    assert strong_grid() == (3072, 3072, 3072)
+    assert strong_grid(768) == (768, 768, 768)
+
+
+def test_iterations_for_decreases_with_scale():
+    small = iterations_for(1)[0]
+    large = iterations_for(512)[0]
+    assert small > large >= 2
+    assert all(iterations_for(n)[1] >= 1 for n in (1, 32, 512))
+
+
+def test_node_ladders_sane():
+    for key, quick in QUICK_NODES.items():
+        assert list(quick) == sorted(quick)
+        assert set(quick) <= set(FULL_NODES[key])
+    # Strong-scaling ladders start at 8 nodes (3072^3 memory floor).
+    assert QUICK_NODES["fig7c"][0] == 8 and QUICK_NODES["fig6b"][0] == 8
+
+
+def test_figure6_smoke():
+    fig = figure6(mode="weak", nodes=(1, 2))
+    assert set(fig.series) == {"charm-h legacy", "charm-h optimized"}
+    assert fig.series["charm-h legacy"].xs() == [1, 2]
+    assert all(y > 0 for s in fig.series.values() for y in s.ys())
+
+
+def test_figure6_invalid_mode():
+    with pytest.raises(ValueError):
+        figure6(mode="sideways")
+
+
+def test_figure7a_series_labels():
+    fig = figure7a(nodes=(1, 2))
+    labels = list(fig.series)
+    assert any(lb.startswith("MPI-H") for lb in labels)
+    assert any(lb.startswith("Charm-D") for lb in labels)
+    assert all(len(fig.series[lb]) == 2 for lb in labels)
+
+
+def test_figure7c_best_odf_recorded():
+    fig = figure7c(nodes=(8,), odf_candidates=(1, 2))
+    best = fig.series["Charm-H (best ODF)"]
+    assert all("odf" in m for m in best.meta)
+    assert "Charm-H ODF-1" in fig.series and "Charm-H ODF-2" in fig.series
+    # best-ODF curve is the min of the per-ODF curves at each point.
+    for x in best.xs():
+        per = min(fig.series[f"Charm-H ODF-{o}"].y_at(x) for o in (1, 2))
+        assert best.y_at(x) == per
+
+
+def test_odf_sweep_small_problem_prefers_odf1():
+    fig = odf_sweep(base=(192, 192, 192), nodes=2, odfs=(1, 2, 4),
+                    versions=("charm-d",))
+    s = fig.series["charm-d"]
+    assert s.y_at(1) == min(s.ys())
+
+
+def test_progress_callback_invoked():
+    lines = []
+    figure6(mode="weak", nodes=(1,), progress=lines.append)
+    assert len(lines) == 2  # legacy + optimized
+    assert all("charm-h" in ln for ln in lines)

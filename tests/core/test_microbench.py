@@ -1,0 +1,47 @@
+"""Tests for the communication-mechanism microbenchmark."""
+
+import pytest
+
+from repro.core import comm_api_comparison
+from repro.hardware import KiB, MachineSpec
+
+
+@pytest.fixture(scope="module")
+def fig():
+    return comm_api_comparison(sizes=(8 * KiB, 64 * KiB, 512 * KiB),
+                               machine=MachineSpec.small_debug())
+
+
+def test_all_mechanisms_measured(fig):
+    assert set(fig.series) == {"entry_message", "gpu_messaging", "channel"}
+    for s in fig.series.values():
+        assert len(s) == 3
+        assert all(y > 0 for y in s.ys())
+
+
+def test_channel_beats_gpu_messaging(fig):
+    """The Channel API's reason to exist: no post-entry-method delay."""
+    ch = fig.series["channel"]
+    gm = fig.series["gpu_messaging"]
+    assert all(ch.y_at(x) < gm.y_at(x) for x in ch.xs())
+
+
+def test_latency_grows_with_size(fig):
+    for s in fig.series.values():
+        ys = s.ys()
+        assert ys[-1] > ys[0]
+
+
+def test_medium_device_messages_beat_host_staged_path(fig):
+    """64-512 KiB *device* buffers ride GPUDirect and skip staging.
+
+    The fair host-path comparison for GPU data is entry-message transport
+    plus the D2H and H2D staging copies an application must add.
+    """
+    machine = MachineSpec.small_debug()
+    link = machine.node.host_link
+    ch = fig.series["channel"]
+    host = fig.series["entry_message"]
+    for size in (64 * KiB, 512 * KiB):
+        staging = 2 * (link.latency + size / link.bandwidth)
+        assert ch.y_at(size) < host.y_at(size) + staging

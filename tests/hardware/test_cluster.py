@@ -1,0 +1,100 @@
+"""Unit tests for PE/Node/Cluster wiring."""
+
+import pytest
+
+from repro.hardware import Cluster, MachineSpec
+from repro.sim import Engine
+
+
+def make_cluster(n_nodes=2, spec=None):
+    eng = Engine()
+    return eng, Cluster(eng, spec or MachineSpec.summit(), n_nodes)
+
+
+def test_cluster_shape():
+    eng, c = make_cluster(n_nodes=3)
+    assert c.n_nodes == 3
+    assert c.n_pes == 18
+    assert c.n_gpus == 18
+    assert len(c.nodes) == 3
+    assert len(c.nodes[0].pes) == 6 and len(c.nodes[0].gpus) == 6
+
+
+def test_global_pe_indexing():
+    eng, c = make_cluster(n_nodes=2)
+    pe = c.pe(7)
+    assert pe.index == 7
+    assert pe.node_index == 1
+    assert pe.local_index == 1
+    assert c.pe(7) is c.nodes[1].pes[1]
+
+
+def test_pe_gpu_one_to_one():
+    eng, c = make_cluster()
+    for pe in c.all_pes():
+        assert pe.gpu is c.gpu(pe.index)
+    gpus = [pe.gpu for pe in c.all_pes()]
+    assert len(set(map(id, gpus))) == len(gpus)
+
+
+def test_cluster_validates_node_count():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        Cluster(eng, MachineSpec.summit(), 0)
+    with pytest.raises(ValueError):
+        Cluster(eng, MachineSpec.summit(), 10_000)
+
+
+def test_pe_occupy_serializes_core():
+    eng, c = make_cluster(n_nodes=1)
+    pe = c.pe(0)
+    times = []
+
+    def worker(tag):
+        yield from pe.occupy(1.0)
+        times.append((tag, eng.now))
+
+    eng.process(worker("a"))
+    eng.process(worker("b"))
+    eng.run()
+    assert times == [("a", 1.0), ("b", 2.0)]
+    assert pe.busy.busy_seconds() == pytest.approx(2.0)
+
+
+def test_pe_occupy_priority():
+    eng, c = make_cluster(n_nodes=1)
+    pe = c.pe(0)
+    order = []
+
+    def holder():
+        yield from pe.occupy(1.0)
+        order.append("holder")
+
+    def late(tag, prio, delay):
+        yield eng.timeout(delay)
+        yield from pe.occupy(0.1, priority=prio)
+        order.append(tag)
+
+    eng.process(holder())
+    eng.process(late("low", 5, 0.1))
+    eng.process(late("high", 0, 0.2))
+    eng.run()
+    assert order == ["holder", "high", "low"]
+
+
+def test_total_gpu_busy_seconds():
+    from repro.hardware import KernelWork
+
+    eng, c = make_cluster(n_nodes=1, spec=MachineSpec.small_debug())
+    s0 = c.gpu(0).create_stream()
+    s1 = c.gpu(1).create_stream()
+    s0.enqueue(KernelWork(bytes_moved=780e9 * 0.01))  # 10 ms at spec bandwidth
+    s1.enqueue(KernelWork(bytes_moved=780e9 * 0.02))
+    eng.run()
+    assert c.total_gpu_busy_seconds() == pytest.approx(0.03, rel=0.01)
+
+
+def test_network_shares_machine_shape():
+    eng, c = make_cluster(n_nodes=2)
+    assert c.network.n_nodes == 2
+    assert c.network.pes_per_node == 6

@@ -1,0 +1,128 @@
+"""Unit tests for the CUDA Graphs model."""
+
+import pytest
+
+from repro.hardware import (
+    COMPUTE,
+    CopyWork,
+    CudaGraph,
+    GpuDevice,
+    GpuSpec,
+    HostLinkSpec,
+    KernelWork,
+)
+from repro.sim import Engine
+
+
+def make_gpu(**kw):
+    eng = Engine()
+    defaults = dict(mem_bandwidth=100e9, kernel_launch_device_s=2e-6, graph_node_device_s=5e-7)
+    defaults.update(kw)
+    return eng, GpuDevice(eng, GpuSpec(**defaults), HostLinkSpec(), name="gpu0")
+
+
+def test_graph_add_and_deps_validation():
+    g = CudaGraph()
+    a = g.add(KernelWork(1e6))
+    b = g.add(KernelWork(1e6), deps=[a])
+    assert (a, b) == (0, 1) and len(g) == 2
+    with pytest.raises(ValueError):
+        g.add(KernelWork(1e6), deps=[5])
+
+
+def test_from_sequence_serial_chain():
+    g = CudaGraph.from_sequence([KernelWork(1e6)] * 3)
+    assert [n.deps for n in g.nodes] == [(), (0,), (1,)]
+
+
+def test_from_sequence_parallel():
+    g = CudaGraph.from_sequence([KernelWork(1e6)] * 3, serial=False)
+    assert all(n.deps == () for n in g.nodes)
+
+
+def test_empty_graph_cannot_instantiate():
+    eng, gpu = make_gpu()
+    with pytest.raises(ValueError):
+        CudaGraph().instantiate(gpu)
+
+
+def test_serial_graph_respects_dependencies():
+    eng, gpu = make_gpu()
+    g = CudaGraph.from_sequence([KernelWork(1e9), KernelWork(1e9)])  # 10 ms each
+    done = g.instantiate(gpu).launch()
+    eng.run_until_complete(done)
+    expected = 2 * (0.01 + gpu.spec.graph_node_device_s)
+    assert eng.now == pytest.approx(expected)
+
+
+def test_graph_nodes_use_reduced_device_overhead():
+    eng, gpu = make_gpu(graph_node_device_s=0.0, kernel_launch_device_s=1.0)
+    g = CudaGraph.from_sequence([KernelWork(1e9)])
+    eng.run_until_complete(g.instantiate(gpu).launch())
+    # With graph overhead 0, a kernel with 1-second *stream* launch overhead
+    # finishes in just its compute time.
+    assert eng.now == pytest.approx(0.01)
+
+
+def test_independent_nodes_respect_engine_capacity():
+    eng, gpu = make_gpu(graph_node_device_s=0.0)
+    g = CudaGraph.from_sequence([KernelWork(1e9)] * 2, serial=False)
+    eng.run_until_complete(g.instantiate(gpu).launch())
+    # Parallel in the DAG but the single compute engine serializes.
+    assert eng.now == pytest.approx(0.02)
+
+
+def test_graph_mixed_engines_run_concurrently():
+    eng, gpu = make_gpu(graph_node_device_s=0.0)
+    g = CudaGraph()
+    g.add(KernelWork(1e9))  # 10 ms on compute
+    g.add(CopyWork(450 * 1024**2))  # ~10 ms on the D2H engine
+    eng.run_until_complete(g.instantiate(gpu).launch())
+    assert eng.now < 0.015
+
+
+def test_diamond_dag():
+    eng, gpu = make_gpu(graph_node_device_s=0.0)
+    g = CudaGraph()
+    a = g.add(KernelWork(1e8), name="a")  # 1 ms
+    b = g.add(KernelWork(1e8), deps=[a], name="b")
+    c = g.add(KernelWork(1e8), deps=[a], name="c")
+    g.add(KernelWork(1e8), deps=[b, c], name="d")
+    eng.run_until_complete(g.instantiate(gpu).launch())
+    # a; then b,c serialized on one engine; then d: 4 ms total.
+    assert eng.now == pytest.approx(0.004)
+
+
+def test_launch_after_gate():
+    eng, gpu = make_gpu(graph_node_device_s=0.0)
+    gate = eng.event()
+    done = CudaGraph.from_sequence([KernelWork(1e8)]).instantiate(gpu).launch(after=[gate])
+
+    def opener():
+        yield eng.timeout(1.0)
+        gate.succeed()
+
+    eng.process(opener())
+    eng.run_until_complete(done)
+    assert eng.now == pytest.approx(1.001)
+
+
+def test_repeat_launches_count():
+    eng, gpu = make_gpu()
+    ge = CudaGraph.from_sequence([KernelWork(1e6)]).instantiate(gpu)
+    eng.run_until_complete(ge.launch())
+    eng.run_until_complete(ge.launch())
+    assert ge.launches == 2
+
+
+def test_update_cost_scales_with_nodes():
+    eng, gpu = make_gpu()
+    g = CudaGraph.from_sequence([KernelWork(1e6)] * 10)
+    assert g.update_cost(gpu) == pytest.approx(5 * gpu.spec.kernel_launch_cpu_s)
+    assert g.update_cost(gpu, nodes_updated=2) == pytest.approx(gpu.spec.kernel_launch_cpu_s)
+
+
+def test_cpu_launch_cost_exposed():
+    eng, gpu = make_gpu()
+    ge = CudaGraph.from_sequence([KernelWork(1e6)]).instantiate(gpu)
+    assert ge.cpu_launch_cost == gpu.spec.graph_launch_cpu_s

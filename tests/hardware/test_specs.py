@@ -1,0 +1,71 @@
+"""Unit tests for hardware specs and machine presets."""
+
+import pytest
+
+from repro.hardware import GiB, KiB, MachineSpec, MiB, NodeSpec, UcxSpec
+
+
+def test_units():
+    assert KiB == 1024 and MiB == 1024**2 and GiB == 1024**3
+
+
+def test_summit_preset_shape():
+    m = MachineSpec.summit()
+    assert m.name == "summit"
+    assert m.node.gpus_per_node == 6
+    assert m.node.pes_per_node == 6
+    assert m.max_nodes == 4608
+    assert m.node.gpu.mem_capacity == 16 * GiB
+
+
+def test_small_debug_preset():
+    m = MachineSpec.small_debug()
+    assert m.node.gpus_per_node == 2
+
+
+def test_validate_nodes_bounds():
+    m = MachineSpec.summit()
+    m.validate_nodes(1)
+    m.validate_nodes(4608)
+    with pytest.raises(ValueError):
+        m.validate_nodes(0)
+    with pytest.raises(ValueError):
+        m.validate_nodes(4609)
+
+
+def test_with_gpu_ablation_returns_new_spec():
+    m = MachineSpec.summit()
+    m2 = m.with_gpu(kernel_launch_cpu_s=1e-5)
+    assert m2.node.gpu.kernel_launch_cpu_s == 1e-5
+    assert m.node.gpu.kernel_launch_cpu_s != 1e-5  # original untouched
+    assert m2.node.gpu.mem_bandwidth == m.node.gpu.mem_bandwidth
+
+
+def test_with_nic_and_ucx_ablation():
+    m = MachineSpec.summit().with_nic(injection_bandwidth=1e9).with_ucx(device_pipeline_threshold=64)
+    assert m.node.nic.injection_bandwidth == 1e9
+    assert m.ucx.device_pipeline_threshold == 64
+
+
+def test_with_node_ablation():
+    m = MachineSpec.summit().with_node(gpus_per_node=4)
+    assert m.node.gpus_per_node == 4
+
+
+def test_ucx_protocol_thresholds_ordered():
+    u = UcxSpec()
+    assert u.eager_threshold < u.device_pipeline_threshold
+    assert u.pipeline_chunk_bytes <= u.staging_pool_bytes
+
+
+def test_specs_frozen():
+    m = MachineSpec.summit()
+    with pytest.raises(AttributeError):
+        m.name = "x"  # type: ignore[misc]
+    with pytest.raises(AttributeError):
+        m.node.gpu.flops = 1.0  # type: ignore[misc]
+
+
+def test_pes_equal_gpus():
+    n = NodeSpec(gpus_per_node=3)
+    assert n.pes_per_node == 3

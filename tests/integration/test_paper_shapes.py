@@ -1,0 +1,84 @@
+"""End-to-end shape checks: the reproduced figures must show the paper's
+qualitative results on reduced node ladders.
+
+The full-scale equivalents run in ``benchmarks/`` (same checkers, paper
+ladders); these keep the claims pinned in the fast suite.
+"""
+
+import pytest
+
+from repro.core import (
+    check_figure6,
+    check_figure7a,
+    check_figure7b,
+    check_figure7c,
+    check_figure8,
+    check_figure9,
+    check_odf_sweep,
+    figure6,
+    figure7a,
+    figure7b,
+    figure7c,
+    figure8,
+    figure9,
+    odf_sweep,
+    render_claims,
+)
+
+
+def assert_claims(claims):
+    failed = [c for c in claims if not c.ok]
+    assert not failed, "\n" + render_claims(claims)
+
+
+@pytest.mark.slow
+def test_fig6_weak_shapes():
+    assert_claims(check_figure6(figure6(mode="weak", nodes=(1, 2, 4, 8))))
+
+
+@pytest.mark.slow
+def test_fig6_strong_shapes():
+    assert_claims(check_figure6(figure6(mode="strong", nodes=(8, 16))))
+
+
+@pytest.mark.slow
+def test_fig7a_shapes():
+    assert_claims(check_figure7a(figure7a(nodes=(1, 2, 4, 8))))
+
+
+@pytest.mark.slow
+def test_fig7b_shapes():
+    assert_claims(check_figure7b(figure7b(nodes=(1, 2, 4, 8))))
+
+
+@pytest.mark.slow
+def test_fig7c_shapes():
+    fig = figure7c(nodes=(8, 16, 32), odf_candidates=(1, 2, 4))
+    claims = [c for c in check_figure7c(fig)
+              # The ODF-crossover claim needs the full ladder (the paper
+              # places it at 16-128 nodes); asserted in the benchmark run.
+              if "crossover" not in c.name]
+    assert_claims(claims)
+
+
+@pytest.mark.slow
+def test_fig8_shapes():
+    assert_claims(check_figure8(figure8(nodes=(4, 16))))
+
+
+@pytest.mark.slow
+def test_fig9_shapes():
+    assert_claims(check_figure9(figure9(nodes=(4, 16))))
+
+
+@pytest.mark.slow
+def test_odf_sweep_small_problem_prefers_low_odf():
+    fig = odf_sweep(base=(192, 192, 192), nodes=4, odfs=(1, 2, 4, 8))
+    assert_claims(check_odf_sweep(fig, {"charm-h": (1,), "charm-d": (1,)}))
+
+
+@pytest.mark.slow
+def test_odf_sweep_large_problem_prefers_overdecomposition():
+    fig = odf_sweep(base=(1536, 1536, 1536), nodes=4, odfs=(1, 2, 4))
+    # ODF > 1 must win for both Charm versions at the big problem size.
+    assert_claims(check_odf_sweep(fig, {"charm-h": (2, 4), "charm-d": (2, 4)}))

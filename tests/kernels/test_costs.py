@@ -1,0 +1,134 @@
+"""Tests for roofline work models and fusion accounting."""
+
+import pytest
+
+from repro.hardware import GpuSpec, HostLinkSpec
+from repro.kernels import (
+    FusionStrategy,
+    exterior_work,
+    fused_all_work,
+    fused_pack_work,
+    fused_unpack_work,
+    interior_work,
+    kernel_launches_per_iteration,
+    pack_work,
+    unpack_work,
+    update_work,
+)
+
+SPEC = GpuSpec()
+LINK = HostLinkSpec()
+
+
+def test_update_work_bytes_and_flops():
+    w = update_work((10, 10, 10))
+    assert w.bytes_moved == 2 * 8 * 1000
+    assert w.flops == 6 * 1000
+
+
+def test_update_is_memory_bound_on_v100():
+    from repro.kernels import stencil_efficiency
+
+    w = update_work((256, 256, 256))
+    mem_t = w.bytes_moved / SPEC.mem_bandwidth
+    flop_t = w.flops / SPEC.flops
+    assert mem_t > flop_t
+    assert w.duration(SPEC, LINK) == pytest.approx(mem_t / stencil_efficiency((256, 256, 256)))
+
+
+def test_stencil_efficiency_decreases_with_smaller_blocks():
+    from repro.kernels import stencil_efficiency
+
+    big = stencil_efficiency((512, 512, 512))
+    small = stencil_efficiency((64, 64, 64))
+    tiny = stencil_efficiency((16, 16, 16))
+    assert 0 < tiny < small < big <= 1.0
+    assert big > 0.95  # large blocks near streaming peak
+
+
+def test_paper_scale_update_duration_plausible():
+    # 1536^3 per node / 6 GPUs: the paper's large weak-scaling block.
+    vol = 1536**3 // 6
+    w = update_work((1536, 1536, 256))
+    t = w.duration(SPEC, LINK)
+    assert 0.008 < t < 0.025  # ~12 ms at 780 GB/s
+
+
+def test_pack_unpack_symmetry():
+    assert pack_work(100).bytes_moved == unpack_work(100).bytes_moved == 2 * 8 * 100
+
+
+def test_fused_pack_same_bytes_lower_efficiency():
+    faces = [100, 100, 200, 200, 50, 50]
+    fused = fused_pack_work(faces)
+    assert fused.bytes_moved == 2 * 8 * sum(faces)
+    assert fused.efficiency < 1.0
+    # One fused launch is still faster than 6 separate launches once the
+    # per-launch device overhead is included.
+    separate = sum(pack_work(f).duration(SPEC, LINK) + SPEC.kernel_launch_device_s
+                   for f in faces)
+    assert fused.duration(SPEC, LINK) + SPEC.kernel_launch_device_s < separate
+
+
+def test_fused_all_includes_everything():
+    dims = (32, 32, 32)
+    faces = [32 * 32] * 6
+    w = fused_all_work(dims, faces)
+    assert w.bytes_moved == 2 * 8 * (32**3 + 2 * 6 * 32 * 32)
+    assert w.flops == 6 * 32**3
+
+
+def test_fused_unpack_matches_pack_model():
+    faces = [10, 20]
+    assert fused_unpack_work(faces).bytes_moved == fused_pack_work(faces).bytes_moved
+
+
+def test_interior_exterior_partition_volume():
+    dims = (10, 8, 6)
+    inner = interior_work(dims)
+    outer = exterior_work(dims)
+    total_flops = inner.flops + outer.flops
+    assert total_flops == 6 * 10 * 8 * 6
+
+
+def test_interior_work_small_blocks_degenerate():
+    w = interior_work((2, 2, 2))  # no interior cells at all
+    assert w.flops == 0
+    assert w.bytes_moved >= 1  # still a valid (if empty) kernel
+
+
+# ---------------------------------------------------------------------------
+# Fusion strategy enum
+# ---------------------------------------------------------------------------
+
+
+def test_fusion_parse():
+    assert FusionStrategy.parse(None) is FusionStrategy.NONE
+    assert FusionStrategy.parse("A") is FusionStrategy.A
+    assert FusionStrategy.parse(FusionStrategy.C) is FusionStrategy.C
+    with pytest.raises(ValueError):
+        FusionStrategy.parse("Z")
+
+
+def test_fusion_flags():
+    assert not FusionStrategy.NONE.packs_fused
+    assert FusionStrategy.A.packs_fused and not FusionStrategy.A.unpacks_fused
+    assert FusionStrategy.B.unpacks_fused and not FusionStrategy.B.all_in_one
+    assert FusionStrategy.C.all_in_one
+
+
+def test_launch_counts_match_paper_table():
+    n = 6  # interior block
+    assert kernel_launches_per_iteration(FusionStrategy.NONE, n) == 13
+    assert kernel_launches_per_iteration(FusionStrategy.A, n) == 8
+    assert kernel_launches_per_iteration(FusionStrategy.B, n) == 3
+    assert kernel_launches_per_iteration(FusionStrategy.C, n) == 1
+
+
+def test_launch_counts_strictly_decrease_with_aggression():
+    for n in (3, 4, 5, 6):
+        seq = [kernel_launches_per_iteration(s, n)
+               for s in (FusionStrategy.NONE, FusionStrategy.A, FusionStrategy.B,
+                         FusionStrategy.C)]
+        assert seq == sorted(seq, reverse=True)
+        assert len(set(seq)) == 4

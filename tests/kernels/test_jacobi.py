@@ -1,0 +1,202 @@
+"""Unit and property tests for the functional Jacobi numerics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import (
+    FACES,
+    alloc_block,
+    apply_boundary,
+    face_shape,
+    hot_top_boundary,
+    jacobi_update,
+    max_principle_holds,
+    opposite,
+    pack_face,
+    reference_solve,
+    residual,
+    unpack_face,
+)
+
+
+def test_alloc_block_shape_and_fill():
+    u = alloc_block((4, 5, 6), fill=2.5)
+    assert u.shape == (6, 7, 8)
+    assert (u == 2.5).all()
+    assert u.dtype == np.float64
+
+
+def test_alloc_block_min_size():
+    assert alloc_block((1, 1, 1)).shape == (3, 3, 3)
+    with pytest.raises(ValueError):
+        alloc_block((0, 1, 1))
+
+
+def test_faces_and_opposite():
+    assert len(FACES) == 6
+    for f in FACES:
+        assert opposite(opposite(f)) == f
+        assert opposite(f)[0] == f[0] and opposite(f)[1] == -f[1]
+
+
+def test_face_shape():
+    assert face_shape((4, 5, 6), (0, -1)) == (5, 6)
+    assert face_shape((4, 5, 6), (1, 1)) == (4, 6)
+    assert face_shape((4, 5, 6), (2, -1)) == (4, 5)
+
+
+def test_jacobi_update_uniform_stays_uniform():
+    u = alloc_block((3, 3, 3), fill=4.0)
+    out = jacobi_update(u)
+    assert np.allclose(out[1:-1, 1:-1, 1:-1], 4.0)
+
+
+def test_jacobi_update_single_cell_average():
+    u = alloc_block((1, 1, 1), fill=0.0)
+    u[0, 1, 1] = 6.0  # one ghost neighbour hot
+    out = jacobi_update(u)
+    assert out[1, 1, 1] == pytest.approx(1.0)
+
+
+def test_jacobi_update_does_not_touch_ghosts():
+    u = alloc_block((2, 2, 2))
+    u[0, :, :] = 7.0
+    out = jacobi_update(u)
+    assert (out[0, :, :] == u[0, :, :]).all()
+
+
+def test_jacobi_update_out_reuse():
+    u = alloc_block((3, 3, 3), fill=1.0)
+    out = np.zeros_like(u)
+    res = jacobi_update(u, out)
+    assert res is out
+
+
+def test_pack_unpack_roundtrip_all_faces():
+    rng = np.random.default_rng(0)
+    u = rng.random((5, 6, 7))
+    v = np.zeros_like(u)
+    for face in FACES:
+        halo = pack_face(u, face)
+        unpack_face(v, face, halo)
+    # Ghost layers of v now mirror u's first interior layers.
+    assert (v[0, 1:-1, 1:-1] == u[1, 1:-1, 1:-1]).all()
+    assert (v[-1, 1:-1, 1:-1] == u[-2, 1:-1, 1:-1]).all()
+    assert (v[1:-1, 0, 1:-1] == u[1:-1, 1, 1:-1]).all()
+    assert (v[1:-1, 1:-1, -1] == u[1:-1, 1:-1, -2]).all()
+
+
+def test_pack_face_is_contiguous_copy():
+    u = np.arange(5 * 5 * 5, dtype=float).reshape(5, 5, 5)
+    halo = pack_face(u, (1, 1))
+    assert halo.flags["C_CONTIGUOUS"]
+    halo[...] = -1
+    assert u.max() > 0  # original untouched
+
+
+def test_unpack_shape_mismatch_raises():
+    u = alloc_block((3, 3, 3))
+    with pytest.raises(ValueError):
+        unpack_face(u, (0, -1), np.zeros((2, 2)))
+
+
+def test_bad_face_rejected():
+    u = alloc_block((3, 3, 3))
+    with pytest.raises(ValueError):
+        pack_face(u, (3, 1))
+    with pytest.raises(ValueError):
+        pack_face(u, (0, 2))
+
+
+def test_residual_zero_for_converged():
+    u = alloc_block((4, 4, 4), fill=3.0)
+    assert residual(u) == 0.0
+
+
+def test_residual_positive_when_not_converged():
+    u = alloc_block((4, 4, 4))
+    u[0, :, :] = 1.0
+    assert residual(u) > 0
+
+
+# ---------------------------------------------------------------------------
+# Reference solver and invariants
+# ---------------------------------------------------------------------------
+
+
+def test_reference_solve_converges_toward_laplace():
+    u50 = reference_solve((6, 6, 6), 50)
+    u200 = reference_solve((6, 6, 6), 400)
+    assert residual(u200) < residual(u50) < 1.0
+
+
+def test_reference_solution_monotone_from_hot_face():
+    u = reference_solve((8, 4, 4), 300)
+    centre = u[1:-1, 2, 2]
+    # Values increase toward the hot +x boundary.
+    assert all(np.diff(centre) > -1e-12)
+    assert centre[-1] > centre[0]
+
+
+def test_apply_boundary_only_touches_global_faces():
+    u = alloc_block((4, 4, 4), fill=-5.0)
+    # Block occupying the low corner of an 8^3 global grid: its +x ghosts
+    # are *interior* (neighbour side) and must stay untouched.
+    apply_boundary(u, hot_top_boundary, (8, 8, 8), offset=(0, 0, 0))
+    # Interior-facing ghosts (the +x halo cross-section) stay untouched;
+    # edge/corner ghosts may legitimately sit on other global faces.
+    assert (u[-1, 1:-1, 1:-1] == -5.0).all()
+    assert (u[0, :, :] == 0.0).all()  # global -x face set to 0
+
+
+def test_apply_boundary_hot_face():
+    shape = (4, 4, 4)
+    u = alloc_block(shape)
+    apply_boundary(u, hot_top_boundary, shape)
+    assert (u[-1, :, :] == 1.0).all()
+    assert (u[0, :, :] == 0.0).all()
+
+
+def test_max_principle_detector():
+    shape = (4, 4, 4)
+    u = reference_solve(shape, 100)
+    assert max_principle_holds(u)
+    u[2, 2, 2] = 99.0
+    assert not max_principle_holds(u)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    shape=st.tuples(st.integers(1, 5), st.integers(1, 5), st.integers(1, 5)),
+    iters=st.integers(1, 20),
+)
+def test_property_max_principle_under_iteration(shape, iters):
+    u = alloc_block(shape)
+    apply_boundary(u, hot_top_boundary, shape)
+    out = u.copy()
+    for _ in range(iters):
+        jacobi_update(u, out)
+        u, out = out, u
+    assert max_principle_holds(u)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    shape=st.tuples(st.integers(2, 5), st.integers(2, 5), st.integers(2, 5)),
+    face_i=st.integers(0, 5),
+    seed=st.integers(0, 2**16),
+)
+def test_property_pack_unpack_is_exact(shape, face_i, seed):
+    face = FACES[face_i]
+    rng = np.random.default_rng(seed)
+    u = rng.random(tuple(s + 2 for s in shape))
+    v = np.zeros_like(u)
+    unpack_face(v, face, pack_face(u, face))
+    axis, side = face
+    idx_src = [slice(1, -1)] * 3
+    idx_dst = [slice(1, -1)] * 3
+    idx_src[axis] = 1 if side < 0 else u.shape[axis] - 2
+    idx_dst[axis] = 0 if side < 0 else u.shape[axis] - 1
+    assert (v[tuple(idx_dst)] == u[tuple(idx_src)]).all()

@@ -1,0 +1,196 @@
+"""Tests for load measurement, balancing strategies, and chare migration."""
+
+import pytest
+
+from repro.hardware import Cluster, KernelWork, MachineSpec
+from repro.runtime import (
+    Chare,
+    CharmRuntime,
+    LoadRecorder,
+    apply_rebalance,
+    greedy_map,
+    refine_map,
+)
+from repro.sim import Engine, SimulationError
+
+
+# ---------------------------------------------------------------------------
+# Strategies (pure functions)
+# ---------------------------------------------------------------------------
+
+
+def test_greedy_map_balances_uniform_loads():
+    loads = {(i,): 1.0 for i in range(8)}
+    m = greedy_map(loads, 4)
+    per_pe = [sum(1 for pe in m.values() if pe == p) for p in range(4)]
+    assert per_pe == [2, 2, 2, 2]
+
+
+def test_greedy_map_heaviest_get_own_pes():
+    loads = {(0,): 10.0, (1,): 10.0, (2,): 1.0, (3,): 1.0}
+    m = greedy_map(loads, 2)
+    assert m[(0,)] != m[(1,)]  # the two heavy chares split
+
+
+def test_greedy_map_near_optimal_makespan():
+    loads = {(i,): float(w) for i, w in enumerate([7, 5, 4, 3, 2, 2, 1])}
+    m = greedy_map(loads, 3)
+    per_pe = [0.0] * 3
+    for idx, pe in m.items():
+        per_pe[pe] += loads[idx]
+    assert max(per_pe) <= 1.34 * (sum(loads.values()) / 3)
+
+
+def test_greedy_map_validates_pes():
+    with pytest.raises(ValueError):
+        greedy_map({(0,): 1.0}, 0)
+
+
+def test_refine_map_moves_little_when_balanced():
+    loads = {(i,): 1.0 for i in range(8)}
+    current = {(i,): i % 4 for i in range(8)}
+    m = refine_map(loads, current, 4)
+    assert m == current  # already balanced: zero migrations
+
+
+def test_refine_map_fixes_hotspot():
+    loads = {(i,): 1.0 for i in range(8)}
+    current = {(i,): 0 for i in range(8)}  # everything on PE 0
+    m = refine_map(loads, current, 4)
+    per_pe = [sum(loads[i] for i, pe in m.items() if pe == p) for p in range(4)]
+    assert max(per_pe) <= 1.5 * (sum(loads.values()) / 4)
+    moved = sum(1 for i in loads if m[i] != current[i])
+    assert 0 < moved < 8  # it moved some, not all
+
+
+def test_refine_map_zero_loads_noop():
+    current = {(0,): 0, (1,): 1}
+    assert refine_map({}, current, 2) == current
+
+
+# ---------------------------------------------------------------------------
+# LoadRecorder
+# ---------------------------------------------------------------------------
+
+
+class Worker(Chare):
+    weights = {}
+
+    def init(self):
+        self.stream = self.gpu.create_stream(priority=10)
+
+    def run(self, msg):
+        weight = Worker.weights.get(self.index, 1.0)
+        work = KernelWork(bytes_moved=780e9 * 1e-3 * weight)  # weight ms
+        op = yield self.launch(self.stream, work)
+        yield self.wait(op.done)
+        self.notify("load", seconds=weight * 1e-3)
+
+    def on_migrate(self):
+        self.stream = self.gpu.create_stream(priority=10)
+
+
+def make_runtime(n_nodes=2):
+    eng = Engine()
+    cluster = Cluster(eng, MachineSpec.small_debug(), n_nodes)
+    return eng, cluster, CharmRuntime(cluster)
+
+
+def test_load_recorder_accumulates_and_imbalance():
+    eng, cluster, rt = make_runtime()
+    rec = LoadRecorder()
+    rt.observe(rec.on_event)
+    Worker.weights = {(0,): 4.0}
+    arr = rt.create_array(Worker, shape=(4,), mapping={(i,): i for i in range(4)})
+    arr.broadcast("run")
+    rt.run()
+    assert rec.loads[(0,)] == pytest.approx(4e-3)
+    assert rec.loads[(1,)] == pytest.approx(1e-3)
+    # One PE has 4x the mean-ish load.
+    assert rec.imbalance(arr.mapping, cluster.n_pes) > 1.5
+    rec.reset()
+    assert not rec.loads
+
+
+# ---------------------------------------------------------------------------
+# Migration
+# ---------------------------------------------------------------------------
+
+
+def test_apply_rebalance_moves_chares_with_cost():
+    eng, cluster, rt = make_runtime()
+    Worker.weights = {}
+    arr = rt.create_array(Worker, shape=(4,), mapping={(i,): 0 for i in range(4)})
+    arr.broadcast("run")
+    rt.run()
+    new_mapping = {(i,): i for i in range(4)}
+    stats = apply_rebalance(rt, arr, new_mapping, state_bytes=lambda c: 1024)
+    assert stats.moves == 3  # (0,) stays
+    assert stats.bytes_moved == 3 * 1024
+    assert stats.migration_seconds > 0
+    assert arr.mapping == new_mapping
+    for i in range(4):
+        chare = arr.element((i,))
+        assert chare.pe is cluster.pe(i)
+        assert chare.gpu is cluster.pe(i).gpu
+
+
+def test_migrated_chares_keep_working():
+    eng, cluster, rt = make_runtime()
+    Worker.weights = {}
+    arr = rt.create_array(Worker, shape=(4,), mapping={(i,): 0 for i in range(4)})
+    arr.broadcast("run")
+    rt.run()
+    apply_rebalance(rt, arr, {(i,): i for i in range(4)})
+    arr.broadcast("run")  # second phase on new placement
+    rt.run()  # must quiesce cleanly
+
+
+def test_rebalance_improves_imbalanced_run():
+    """The headline: measure, rebalance greedily, re-run, get faster."""
+
+    def phase(rt, arr):
+        t0 = rt.engine.now
+        arr.broadcast("run")
+        rt.run()
+        return rt.engine.now - t0
+
+    eng, cluster, rt = make_runtime()
+    rec = LoadRecorder()
+    rt.observe(rec.on_event)
+    # Hot chares all mapped to PE 0 initially (block map over sorted index).
+    Worker.weights = {(i,): (8.0 if i < 2 else 1.0) for i in range(8)}
+    arr = rt.create_array(Worker, shape=(8,),
+                          mapping={(i,): i // 2 for i in range(8)})
+    before = phase(rt, arr)
+    new_mapping = greedy_map(rec.loads, cluster.n_pes)
+    apply_rebalance(rt, arr, new_mapping, state_bytes=lambda c: 4096)
+    rec.reset()
+    after = phase(rt, arr)
+    assert after < 0.8 * before
+
+
+def test_rebalance_requires_quiescence():
+    class Stuck(Chare):
+        def run(self, msg):
+            yield self.when("never")
+
+    eng, cluster, rt = make_runtime()
+    arr = rt.create_array(Stuck, shape=(1,))
+    arr.broadcast("run")
+    try:
+        rt.run()
+    except SimulationError:
+        pass  # expected deadlock report; frames remain live
+    with pytest.raises(SimulationError, match="frames"):
+        apply_rebalance(rt, arr, {(0,): 1})
+
+
+def test_rebalance_rejects_bad_pe():
+    eng, cluster, rt = make_runtime()
+    Worker.weights = {}
+    arr = rt.create_array(Worker, shape=(2,))
+    arr.broadcast("run")
+    rt.run()
+    with pytest.raises(ValueError):
+        apply_rebalance(rt, arr, {(0,): 99})

@@ -1,0 +1,101 @@
+"""Tests for the Proxy/ElementProxy sugar and array messaging edges."""
+
+import pytest
+
+from repro.hardware import Cluster, MachineSpec
+from repro.runtime import Chare, CharmRuntime
+from repro.sim import Engine
+
+
+class Echo(Chare):
+    got = []
+
+    def ping(self, msg):
+        Echo.got.append((self.index, msg.ref, msg.payload))
+
+
+def make(n_nodes=1):
+    eng = Engine()
+    cluster = Cluster(eng, MachineSpec.small_debug(), n_nodes)
+    rt = CharmRuntime(cluster)
+    Echo.got = []
+    arr = rt.create_array(Echo, shape=(2, 2))
+    return eng, rt, arr
+
+
+def test_array_getitem_proxy_invocation():
+    eng, rt, arr = make()
+    arr[(1, 0)].ping(ref=7, payload="hi")
+    rt.run()
+    assert Echo.got == [((1, 0), 7, "hi")]
+
+
+def test_proxy_call_form():
+    eng, rt, arr = make()
+    arr.proxy(0, 1).ping(payload="x")
+    rt.run()
+    assert Echo.got == [((0, 1), None, "x")]
+
+
+def test_proxy_broadcast():
+    eng, rt, arr = make()
+    arr.proxy.broadcast("ping")
+    rt.run()
+    assert sorted(i for i, _r, _p in Echo.got) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+
+def test_proxy_from_chare_charges_sender():
+    class Sender(Chare):
+        def run(self, msg):
+            proxy = self.array.proxy.from_chare(self)
+            proxy[(0, 1)].ping(payload="from-chare")
+            yield self.work(1e-9)
+
+    eng = Engine()
+    cluster = Cluster(eng, MachineSpec.small_debug(), 1)
+    rt = CharmRuntime(cluster)
+    Echo.got = []
+    echo = rt.create_array(Echo, shape=(2, 2))
+
+    class Sender2(Sender):
+        array = None
+
+    Sender2.array = echo  # hand the echo array to the sender class
+
+    class Starter(Chare):
+        def run(self, msg):
+            p = echo.proxy.from_chare(self)
+            p[(0, 1)].ping(payload="from-chare")
+            yield self.work(1e-9)
+
+    starters = rt.create_array(Starter, shape=(1,))
+    starters.broadcast("run")
+    rt.run()
+    assert Echo.got == [((0, 1), None, "from-chare")]
+
+
+def test_element_proxy_rejects_private_methods():
+    eng, rt, arr = make()
+    with pytest.raises(AttributeError):
+        arr[(0, 0)]._secret
+
+
+def test_send_to_missing_element_raises():
+    class Bad(Chare):
+        def run(self, msg):
+            self.send((9, 9), "ping")
+            yield self.work(1e-9)
+
+    eng = Engine()
+    cluster = Cluster(eng, MachineSpec.small_debug(), 1)
+    rt = CharmRuntime(cluster)
+    arr = rt.create_array(Bad, shape=(1, 1))
+    arr.broadcast("run")
+    with pytest.raises(Exception, match="no element"):
+        rt.run()
+
+
+def test_array_len_and_element():
+    eng, rt, arr = make()
+    assert len(arr) == 4
+    assert arr.element([1, 1]).index == (1, 1)

@@ -1,0 +1,108 @@
+"""Tests for array-wide reductions."""
+
+import pytest
+
+from repro.hardware import Cluster, MachineSpec
+from repro.sim import Engine
+from repro.runtime import REDUCERS, Chare, CharmRuntime
+
+
+def make_runtime(n_nodes=2):
+    eng = Engine()
+    cluster = Cluster(eng, MachineSpec.small_debug(), n_nodes)
+    return eng, cluster, CharmRuntime(cluster)
+
+
+class Reducer(Chare):
+    results = {}
+    op = "sum"
+
+    def run(self, msg):
+        value = self.index[0] + 1
+        total = yield from self.allreduce(value, op=Reducer.op)
+        Reducer.results[self.index] = total
+
+
+def run_reduction(shape=(6,), op="sum", n_nodes=2):
+    eng, cluster, rt = make_runtime(n_nodes)
+    Reducer.results = {}
+    Reducer.op = op
+    arr = rt.create_array(Reducer, shape=shape)
+    arr.broadcast("run")
+    rt.run()
+    return rt
+
+
+def test_allreduce_sum_all_chares_get_total():
+    run_reduction(shape=(6,), op="sum")
+    assert set(Reducer.results.values()) == {21}  # 1+2+...+6
+    assert len(Reducer.results) == 6
+
+
+def test_allreduce_max():
+    run_reduction(shape=(5,), op="max")
+    assert set(Reducer.results.values()) == {5}
+
+
+def test_allreduce_min():
+    run_reduction(shape=(5,), op="min")
+    assert set(Reducer.results.values()) == {1}
+
+
+def test_allreduce_prod():
+    run_reduction(shape=(4,), op="prod")
+    assert set(Reducer.results.values()) == {24}
+
+
+def test_allreduce_single_pe():
+    run_reduction(shape=(3,), n_nodes=1)
+    assert set(Reducer.results.values()) == {6}
+
+
+def test_unknown_op_rejected():
+    class BadOp(Chare):
+        def run(self, msg):
+            yield from self.allreduce(1, op="median")
+
+    eng, cluster, rt = make_runtime()
+    arr = rt.create_array(BadOp, shape=(2,))
+    arr.broadcast("run")
+    with pytest.raises(Exception, match="median"):
+        rt.run()
+
+
+class TwoRounds(Chare):
+    results = []
+
+    def run(self, msg):
+        a = yield from self.allreduce(1, op="sum")
+        b = yield from self.allreduce(self.index[0], op="max")
+        if self.index == (0,):
+            TwoRounds.results.append((a, b))
+
+
+def test_consecutive_reductions_use_distinct_sequences():
+    eng, cluster, rt = make_runtime()
+    TwoRounds.results = []
+    arr = rt.create_array(TwoRounds, shape=(4,))
+    arr.broadcast("run")
+    rt.run()
+    assert TwoRounds.results == [(4, 3)]
+    assert rt.reductions.completed == 2
+
+
+def test_reduction_takes_nonzero_time():
+    eng, cluster, rt = make_runtime()
+    Reducer.results = {}
+    Reducer.op = "sum"
+    arr = rt.create_array(Reducer, shape=(8,))
+    arr.broadcast("run")
+    rt.run()
+    assert eng.now > 0  # messages cost time
+
+
+def test_reducers_table():
+    assert REDUCERS["sum"](2, 3) == 5
+    assert REDUCERS["max"](2, 3) == 3
+    assert REDUCERS["min"](2, 3) == 2
+    assert REDUCERS["prod"](2, 3) == 6
