@@ -11,18 +11,25 @@ mechanism carries its observed effect:
   gap but corrupts Fig. 7c's ODF preference — why it ships disabled.
 """
 
-from conftest import report
+from conftest import make_runner, report
 
 from repro.analysis import FigureData
-from repro.apps import Jacobi3DConfig, run_jacobi3d
+from repro.apps import Jacobi3DConfig
 from repro.core import Claim
 from repro.hardware import GiB, MachineSpec
+
+#: Ablations run point-by-point (machine variants interleaved), so they
+#: share one module-level runner: the cache makes re-runs instant, and the
+#: ablated machines hash to distinct keys (the full MachineSpec is part of
+#: the cache identity).
+_RUNNER = make_runner()
 
 
 def _per_iter(machine, **kw):
     kw.setdefault("iterations", 5)
     kw.setdefault("warmup", 1)
-    return run_jacobi3d(Jacobi3DConfig(machine=machine, **kw)).time_per_iteration
+    config = Jacobi3DConfig(machine=machine, **kw)
+    return _RUNNER.run_configs([config])[0].time_per_iteration
 
 
 def test_pipeline_threshold_causes_fig7a_inversion(benchmark):

@@ -9,17 +9,19 @@ from conftest import ladder, report
 from repro.core import check_figure6, figure6
 
 
-def test_fig6a_weak_baseline_optimizations(benchmark, progress):
+def test_fig6a_weak_baseline_optimizations(benchmark, progress, runner):
     fig = benchmark.pedantic(
-        lambda: figure6(mode="weak", nodes=ladder("fig6"), progress=progress),
+        lambda: figure6(mode="weak", nodes=ladder("fig6"), progress=progress,
+                        runner=runner),
         rounds=1, iterations=1,
     )
-    report(fig, check_figure6(fig))
+    report(fig, check_figure6(fig), runner=runner)
 
 
-def test_fig6b_strong_baseline_optimizations(benchmark, progress):
+def test_fig6b_strong_baseline_optimizations(benchmark, progress, runner):
     fig = benchmark.pedantic(
-        lambda: figure6(mode="strong", nodes=ladder("fig6b"), progress=progress),
+        lambda: figure6(mode="strong", nodes=ladder("fig6b"), progress=progress,
+                        runner=runner),
         rounds=1, iterations=1,
     )
-    report(fig, check_figure6(fig))
+    report(fig, check_figure6(fig), runner=runner)

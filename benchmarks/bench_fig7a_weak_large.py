@@ -11,9 +11,9 @@ from conftest import ladder, report
 from repro.core import check_figure7a, figure7a
 
 
-def test_fig7a_weak_scaling_large_problem(benchmark, progress):
+def test_fig7a_weak_scaling_large_problem(benchmark, progress, runner):
     fig = benchmark.pedantic(
-        lambda: figure7a(nodes=ladder("fig7a"), progress=progress),
+        lambda: figure7a(nodes=ladder("fig7a"), progress=progress, runner=runner),
         rounds=1, iterations=1,
     )
-    report(fig, check_figure7a(fig))
+    report(fig, check_figure7a(fig), runner=runner)

@@ -10,9 +10,9 @@ from conftest import ladder, report
 from repro.core import check_figure7b, figure7b
 
 
-def test_fig7b_weak_scaling_small_problem(benchmark, progress):
+def test_fig7b_weak_scaling_small_problem(benchmark, progress, runner):
     fig = benchmark.pedantic(
-        lambda: figure7b(nodes=ladder("fig7b"), progress=progress),
+        lambda: figure7b(nodes=ladder("fig7b"), progress=progress, runner=runner),
         rounds=1, iterations=1,
     )
-    report(fig, check_figure7b(fig))
+    report(fig, check_figure7b(fig), runner=runner)

@@ -11,9 +11,9 @@ from conftest import ladder, report
 from repro.core import check_figure7c, figure7c
 
 
-def test_fig7c_strong_scaling(benchmark, progress):
+def test_fig7c_strong_scaling(benchmark, progress, runner):
     fig = benchmark.pedantic(
-        lambda: figure7c(nodes=ladder("fig7c"), progress=progress),
+        lambda: figure7c(nodes=ladder("fig7c"), progress=progress, runner=runner),
         rounds=1, iterations=1,
     )
-    report(fig, check_figure7c(fig))
+    report(fig, check_figure7c(fig), runner=runner)

@@ -11,9 +11,9 @@ from conftest import ladder, report
 from repro.core import check_figure8, figure8
 
 
-def test_fig8_kernel_fusion(benchmark, progress):
+def test_fig8_kernel_fusion(benchmark, progress, runner):
     fig = benchmark.pedantic(
-        lambda: figure8(nodes=ladder("fig8"), progress=progress),
+        lambda: figure8(nodes=ladder("fig8"), progress=progress, runner=runner),
         rounds=1, iterations=1,
     )
-    report(fig, check_figure8(fig))
+    report(fig, check_figure8(fig), runner=runner)

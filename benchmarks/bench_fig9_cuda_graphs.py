@@ -11,9 +11,9 @@ from conftest import ladder, report
 from repro.core import check_figure9, figure9
 
 
-def test_fig9_cuda_graphs_speedup(benchmark, progress):
+def test_fig9_cuda_graphs_speedup(benchmark, progress, runner):
     fig = benchmark.pedantic(
-        lambda: figure9(nodes=ladder("fig9"), progress=progress),
+        lambda: figure9(nodes=ladder("fig9"), progress=progress, runner=runner),
         rounds=1, iterations=1,
     )
-    report(fig, check_figure9(fig))
+    report(fig, check_figure9(fig), runner=runner)

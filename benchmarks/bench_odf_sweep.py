@@ -7,21 +7,23 @@ from conftest import report
 from repro.core import check_odf_sweep, odf_sweep
 
 
-def test_odf_sweep_large_problem(benchmark, progress):
+def test_odf_sweep_large_problem(benchmark, progress, runner):
     fig = benchmark.pedantic(
         lambda: odf_sweep(base=(1536, 1536, 1536), nodes=8,
-                          odfs=(1, 2, 4, 8, 16), progress=progress),
+                          odfs=(1, 2, 4, 8, 16), progress=progress, runner=runner),
         rounds=1, iterations=1,
     )
     fig.figure_id = "odf_sweep_1536"
-    report(fig, check_odf_sweep(fig, {"charm-h": (2, 4, 8), "charm-d": (2, 4, 8, 16)}))
+    report(fig, check_odf_sweep(fig, {"charm-h": (2, 4, 8), "charm-d": (2, 4, 8, 16)}),
+           runner=runner)
 
 
-def test_odf_sweep_small_problem(benchmark, progress):
+def test_odf_sweep_small_problem(benchmark, progress, runner):
     fig = benchmark.pedantic(
         lambda: odf_sweep(base=(192, 192, 192), nodes=8,
-                          odfs=(1, 2, 4, 8), progress=progress),
+                          odfs=(1, 2, 4, 8), progress=progress, runner=runner),
         rounds=1, iterations=1,
     )
     fig.figure_id = "odf_sweep_192"
-    report(fig, check_odf_sweep(fig, {"charm-h": (1,), "charm-d": (1,)}))
+    report(fig, check_odf_sweep(fig, {"charm-h": (1,), "charm-d": (1,)}),
+           runner=runner)

@@ -134,6 +134,37 @@ class Jacobi3DConfig:
         """A modified copy (sweep helper)."""
         return replace(self, **kwargs)
 
+    # -- serialization ---------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-data form, stable across processes: only numbers, strings,
+        bools and lists.  The dict fully determines the run (the simulator is
+        deterministic), so it doubles as the content-addressed cache identity
+        (:mod:`repro.exec.cache`) and the worker-dispatch payload
+        (:mod:`repro.exec.runner`)."""
+        return {
+            "version": self.version,
+            "nodes": self.nodes,
+            "grid": list(self.grid),
+            "odf": self.odf,
+            "iterations": self.iterations,
+            "warmup": self.warmup,
+            "fusion": self.fusion.value,
+            "cuda_graphs": self.cuda_graphs,
+            "legacy_sync": self.legacy_sync,
+            "mpi_overlap": self.mpi_overlap,
+            "data_mode": self.data_mode,
+            "machine": self.machine.to_dict(),
+            "allow_large_functional": self.allow_large_functional,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Jacobi3DConfig":
+        """Inverse of :meth:`to_dict` (revalidates via ``__post_init__``)."""
+        d = dict(d)
+        d["grid"] = tuple(d["grid"])
+        d["machine"] = MachineSpec.from_dict(d["machine"])
+        return cls(**d)
+
 
 @dataclass
 class Jacobi3DResult:
@@ -164,6 +195,50 @@ class Jacobi3DResult:
             dx, dy, dz = geometry.block_dims(index)
             out[ox:ox + dx, oy:oy + dy, oz:oz + dz] = interior
         return out
+
+    # -- serialization ---------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready form for cache persistence.  Functional-mode results
+        carry NumPy block data and are deliberately not serializable (they
+        are also the one case where re-running is the point)."""
+        if self.blocks is not None:
+            raise ValueError("functional-mode results (with blocks) are not serializable")
+        return {
+            "config": self.config.to_dict(),
+            "total_time": self.total_time,
+            "warmup_boundary": self.warmup_boundary,
+            "time_per_iteration": self.time_per_iteration,
+            "gpu_busy_s": self.gpu_busy_s,
+            "gpu_utilization": self.gpu_utilization,
+            "pe_busy_s": self.pe_busy_s,
+            "messages_sent": self.messages_sent,
+            "bytes_sent": self.bytes_sent,
+            "protocol_counts": {p.value: c for p, c in self.protocol_counts.items()},
+            "overlap_s": self.overlap_s,
+            "max_halo_bytes": self.max_halo_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Jacobi3DResult":
+        """Inverse of :meth:`to_dict`.  Floats round-trip exactly through
+        JSON (``repr`` round-trip), so a cached result is bit-identical to
+        the run that produced it."""
+        from ...comm.protocols import Protocol
+
+        return cls(
+            config=Jacobi3DConfig.from_dict(d["config"]),
+            total_time=d["total_time"],
+            warmup_boundary=d["warmup_boundary"],
+            time_per_iteration=d["time_per_iteration"],
+            gpu_busy_s=d["gpu_busy_s"],
+            gpu_utilization=d["gpu_utilization"],
+            pe_busy_s=d["pe_busy_s"],
+            messages_sent=d["messages_sent"],
+            bytes_sent=d["bytes_sent"],
+            protocol_counts={Protocol(k): v for k, v in d["protocol_counts"].items()},
+            overlap_s=d["overlap_s"],
+            max_halo_bytes=d["max_halo_bytes"],
+        )
 
     def summary(self) -> str:
         """One-line human-readable summary."""

@@ -9,6 +9,12 @@ Commands
     the table/chart and the shape-claim verdicts; optional JSON output.
 ``sweep``
     Overdecomposition-factor sweep at a fixed node count.
+
+``figure`` and ``sweep`` run their points through the experiment execution
+layer (``repro.exec``, docs/execution.md): ``--jobs N`` fans independent
+simulations out over a process pool, and a content-addressed result cache
+(``--no-cache`` / ``--cache-dir``) makes repeated invocations instant —
+results are bit-identical to serial uncached runs either way.
 ``protocols``
     Compare the Charm++ communication mechanisms across message sizes.
 """
@@ -21,6 +27,7 @@ from typing import Optional, Sequence
 
 from .analysis import render_figure
 from .apps import Jacobi3DConfig, run_jacobi3d
+from .exec import ParallelRunner, ResultCache, default_cache_dir
 from .core import (
     FULL_NODES,
     QUICK_NODES,
@@ -84,15 +91,40 @@ def _build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument("--save", metavar="PATH", default=None, help="write series JSON")
     fig_p.add_argument("--no-plot", action="store_true")
     fig_p.add_argument("--quiet", action="store_true", help="no per-point progress")
+    _add_exec_flags(fig_p)
 
     sweep_p = sub.add_parser("sweep", help="overdecomposition-factor sweep")
     sweep_p.add_argument("--base", type=int, default=1536,
                          help="per-node cubic grid edge (default 1536)")
     sweep_p.add_argument("--nodes", type=int, default=8)
     sweep_p.add_argument("--odfs", type=int, nargs="+", default=[1, 2, 4, 8, 16])
+    _add_exec_flags(sweep_p)
 
     sub.add_parser("protocols", help="compare communication mechanisms")
     return parser
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                        help="worker processes for the experiment points (default 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the content-addressed result cache")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="cache location (default $REPRO_CACHE_DIR or ~/.cache/repro)")
+
+
+def _make_runner(args) -> ParallelRunner:
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    return ParallelRunner(jobs=args.jobs, cache=cache)
 
 
 def _cmd_run(args) -> int:
@@ -127,7 +159,9 @@ def _cmd_figure(args) -> int:
     if nodes is None:
         nodes = (FULL_NODES if args.full else QUICK_NODES)[ladder_key]
     progress = None if args.quiet else lambda line: print(f"  {line}", file=sys.stderr)
-    fig = generate(nodes=nodes, progress=progress)
+    runner = _make_runner(args)
+    fig = generate(nodes=nodes, progress=progress, runner=runner)
+    print(f"[exec] {runner.stats.describe()}", file=sys.stderr)
     print(render_figure(fig, plot=not args.no_plot))
     claims = check(fig)
     print(render_claims(claims))
@@ -138,7 +172,10 @@ def _cmd_figure(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
-    fig = odf_sweep(base=(args.base,) * 3, nodes=args.nodes, odfs=args.odfs)
+    runner = _make_runner(args)
+    fig = odf_sweep(base=(args.base,) * 3, nodes=args.nodes, odfs=args.odfs,
+                    runner=runner)
+    print(f"[exec] {runner.stats.describe()}", file=sys.stderr)
     print(render_figure(fig, plot=False))
     for label, series in fig.series.items():
         best = min(zip(series.ys(), series.xs()))[1]

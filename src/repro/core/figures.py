@@ -1,8 +1,12 @@
 """Reproduction entry points for every figure in the paper's evaluation.
 
-Each ``figure*`` function runs the simulated experiments behind one paper
-figure and returns a :class:`~repro.analysis.series.FigureData` whose series
-mirror the paper's curves.  Node ladders default to a laptop-friendly
+Each ``figure*`` function builds a declarative :class:`ExperimentPlan` for
+the simulated experiments behind one paper figure, executes it through a
+:class:`~repro.exec.ParallelRunner` (serial by default; pass ``runner=``
+for process-pool fan-out and content-addressed result caching), and returns
+a :class:`~repro.analysis.series.FigureData` whose series mirror the
+paper's curves.  Results are deterministic: a parallel, cached run is
+bit-identical to a serial one.  Node ladders default to a laptop-friendly
 *quick* range; pass ``nodes=FULL_NODES[...]`` (or any list) for paper scale.
 
 The paper's evaluation protocol (§IV-A) is followed throughout: one PE/GPU
@@ -15,8 +19,9 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Optional, Sequence
 
-from ..apps import Jacobi3DConfig, Jacobi3DResult, run_jacobi3d
-from ..analysis import FigureData, Series
+from ..apps import Jacobi3DConfig
+from ..analysis import FigureData
+from ..exec import ExperimentPlan, ParallelRunner, PointOutcome
 from ..hardware import MachineSpec
 from ..kernels.fusion import FusionStrategy
 
@@ -63,6 +68,10 @@ FULL_NODES = {
 
 ProgressFn = Callable[[str], None]
 
+#: Per-point metadata recorded by most figures.
+_UTIL = (("util", "gpu_utilization"),)
+_UTIL_HALO = (("util", "gpu_utilization"), ("max_halo", "max_halo_bytes"))
+
 
 def weak_grid(base: Sequence[int], nodes: int) -> tuple[int, int, int]:
     """Weak-scaling global grid: double one dimension per node doubling
@@ -94,13 +103,6 @@ def iterations_for(nodes: int) -> tuple[int, int]:
     return 3, 1
 
 
-def _run(cfg: Jacobi3DConfig, progress: Optional[ProgressFn]) -> Jacobi3DResult:
-    result = run_jacobi3d(cfg)
-    if progress:
-        progress(result.summary())
-    return result
-
-
 def _config(version, nodes, grid, machine, odf=1, **kw) -> Jacobi3DConfig:
     iters, warm = iterations_for(nodes)
     return Jacobi3DConfig(
@@ -108,6 +110,18 @@ def _config(version, nodes, grid, machine, odf=1, **kw) -> Jacobi3DConfig:
         iterations=kw.pop("iterations", iters), warmup=kw.pop("warmup", warm),
         machine=machine or MachineSpec.summit(), **kw,
     )
+
+
+def _execute(plan: ExperimentPlan, runner: Optional[ParallelRunner],
+             progress: Optional[ProgressFn]) -> list:
+    """Run ``plan``; adapts the historical line-based ``progress`` callback
+    to the runner's structured per-point outcomes."""
+    runner = runner or ParallelRunner()
+    on_point = None
+    if progress is not None:
+        def on_point(outcome: PointOutcome) -> None:
+            progress(outcome.summary)
+    return runner.run(plan, on_point=on_point)
 
 
 # ---------------------------------------------------------------------------
@@ -120,6 +134,7 @@ def figure6(
     nodes: Optional[Iterable[int]] = None,
     machine: Optional[MachineSpec] = None,
     progress: Optional[ProgressFn] = None,
+    runner: Optional[ParallelRunner] = None,
 ) -> FigureData:
     """Fig. 6: Charm-H before/after the §III-C optimizations (one host sync
     per iteration + split high-priority copy streams), at ODF 4.
@@ -130,21 +145,18 @@ def figure6(
         raise ValueError("mode must be 'weak' or 'strong'")
     # Strong scaling of 3072^3 needs >= 8 nodes to fit in GPU memory.
     nodes = tuple(nodes or QUICK_NODES["fig6" if mode == "weak" else "fig6b"])
-    fig = FigureData(
+    plan = ExperimentPlan(
         figure_id=f"fig6{'a' if mode == 'weak' else 'b'}",
         title=f"Baseline optimizations, {mode} scaling (Charm-H, ODF 4)",
         xlabel="nodes",
         ylabel="time/iter (s)",
     )
-    legacy = fig.new_series("charm-h legacy")
-    optimized = fig.new_series("charm-h optimized")
     for n in nodes:
         grid = weak_grid((1536, 1536, 1536), n) if mode == "weak" else strong_grid()
-        for series, legacy_flag in ((legacy, True), (optimized, False)):
-            cfg = _config("charm-h", n, grid, machine, odf=4, legacy_sync=legacy_flag)
-            res = _run(cfg, progress)
-            series.add(n, res.time_per_iteration, util=res.gpu_utilization)
-    return fig
+        for series, legacy_flag in (("charm-h legacy", True), ("charm-h optimized", False)):
+            plan.add(_config("charm-h", n, grid, machine, odf=4, legacy_sync=legacy_flag),
+                     series, n, meta_fields=_UTIL)
+    return plan.figure(_execute(plan, runner, progress))
 
 
 # ---------------------------------------------------------------------------
@@ -153,12 +165,11 @@ def figure6(
 
 
 def _four_versions(
-    fig: FigureData,
+    plan: ExperimentPlan,
     nodes: Iterable[int],
     grid_for,
     machine,
     charm_odf: int,
-    progress,
     gpu_aware_odf: Optional[int] = None,
 ) -> None:
     for label, version, odf in (
@@ -167,31 +178,28 @@ def _four_versions(
         (f"Charm-H (ODF {charm_odf})", "charm-h", charm_odf),
         (f"Charm-D (ODF {gpu_aware_odf or charm_odf})", "charm-d", gpu_aware_odf or charm_odf),
     ):
-        series = fig.new_series(label)
         for n in nodes:
-            cfg = _config(version, n, grid_for(n), machine, odf=odf)
-            res = _run(cfg, progress)
-            series.add(n, res.time_per_iteration, util=res.gpu_utilization,
-                       max_halo=res.max_halo_bytes)
+            plan.add(_config(version, n, grid_for(n), machine, odf=odf),
+                     label, n, meta_fields=_UTIL_HALO)
 
 
-def figure7a(nodes=None, machine=None, progress=None) -> FigureData:
+def figure7a(nodes=None, machine=None, progress=None, runner=None) -> FigureData:
     """Fig. 7a: weak scaling, 1536³ per node (up to ~9 MB halos).  Charm
     versions at ODF 4 (the paper's best); GPU-aware communication *degrades*
     here because of the pipelined-host-staging protocol."""
     nodes = tuple(nodes or QUICK_NODES["fig7a"])
-    fig = FigureData("fig7a", "Weak scaling, 1536^3 per node", "nodes", "time/iter (s)")
-    _four_versions(fig, nodes, lambda n: weak_grid((1536, 1536, 1536), n), machine, 4, progress)
-    return fig
+    plan = ExperimentPlan("fig7a", "Weak scaling, 1536^3 per node", "nodes", "time/iter (s)")
+    _four_versions(plan, nodes, lambda n: weak_grid((1536, 1536, 1536), n), machine, 4)
+    return plan.figure(_execute(plan, runner, progress))
 
 
-def figure7b(nodes=None, machine=None, progress=None) -> FigureData:
+def figure7b(nodes=None, machine=None, progress=None, runner=None) -> FigureData:
     """Fig. 7b: weak scaling, 192³ per node (≤ 96 KB halos).  GPU-aware
     communication wins big; ODF 1 is best (overheads beat overlap)."""
     nodes = tuple(nodes or QUICK_NODES["fig7b"])
-    fig = FigureData("fig7b", "Weak scaling, 192^3 per node", "nodes", "time/iter (s)")
-    _four_versions(fig, nodes, lambda n: weak_grid((192, 192, 192), n), machine, 1, progress)
-    return fig
+    plan = ExperimentPlan("fig7b", "Weak scaling, 192^3 per node", "nodes", "time/iter (s)")
+    _four_versions(plan, nodes, lambda n: weak_grid((192, 192, 192), n), machine, 1)
+    return plan.figure(_execute(plan, runner, progress))
 
 
 def figure7c(
@@ -199,34 +207,49 @@ def figure7c(
     machine=None,
     progress=None,
     odf_candidates: Sequence[int] = (1, 2, 4),
+    runner=None,
 ) -> FigureData:
     """Fig. 7c: strong scaling of a 3072³ grid (node counts start at 8 —
     below that the grid physically exceeds GPU memory).  Charm versions
     report their best ODF per point (like the paper); per-ODF series are
     kept so the ODF-crossover analysis (§IV-C) can run on the same data."""
     nodes = tuple(nodes or QUICK_NODES["fig7c"])
-    fig = FigureData("fig7c", "Strong scaling, 3072^3 global grid", "nodes", "time/iter (s)")
+    plan = ExperimentPlan("fig7c", "Strong scaling, 3072^3 global grid",
+                          "nodes", "time/iter (s)")
     grid = strong_grid()
-    for label, version in (("MPI-H", "mpi-h"), ("MPI-D", "mpi-d")):
-        series = fig.new_series(label)
+    index: dict[tuple, int] = {}
+    mpi = (("MPI-H", "mpi-h"), ("MPI-D", "mpi-d"))
+    charm = (("Charm-H", "charm-h"), ("Charm-D", "charm-d"))
+    for label, version in mpi:
         for n in nodes:
-            res = _run(_config(version, n, grid, machine), progress)
-            series.add(n, res.time_per_iteration)
-    for label, version in (("Charm-H", "charm-h"), ("Charm-D", "charm-d")):
-        best = fig.new_series(f"{label} (best ODF)")
-        per_odf = {odf: fig.new_series(f"{label} ODF-{odf}") for odf in odf_candidates}
+            index[version, n, 1] = plan.add(_config(version, n, grid, machine), label, n)
+    for label, version in charm:
         for n in nodes:
-            results = {}
             for odf in odf_candidates:
                 if n >= 256 and odf > 2:
                     # At 256+ nodes high ODF is never competitive and the
                     # simulation cost is quadratic in chare count; skip.
                     continue
-                res = _run(_config(version, n, grid, machine, odf=odf), progress)
+                index[version, n, odf] = plan.add(
+                    _config(version, n, grid, machine, odf=odf), f"{label} ODF-{odf}", n)
+    results = _execute(plan, runner, progress)
+
+    # Best-ODF selection is derived data, so this figure assembles manually.
+    fig = FigureData(plan.figure_id, plan.title, plan.xlabel, plan.ylabel)
+    for label, version in mpi:
+        series = fig.new_series(label)
+        for n in nodes:
+            series.add(n, results[index[version, n, 1]].time_per_iteration)
+    for label, version in charm:
+        best = fig.new_series(f"{label} (best ODF)")
+        per_odf = {odf: fig.new_series(f"{label} ODF-{odf}") for odf in odf_candidates}
+        for n in nodes:
+            by_odf = {odf: results[index[version, n, odf]]
+                      for odf in odf_candidates if (version, n, odf) in index}
+            for odf, res in by_odf.items():
                 per_odf[odf].add(n, res.time_per_iteration)
-                results[odf] = res
-            best_odf = min(results, key=lambda o: results[o].time_per_iteration)
-            best.add(n, results[best_odf].time_per_iteration, odf=best_odf)
+            best_odf = min(by_odf, key=lambda o: by_odf[o].time_per_iteration)
+            best.add(n, by_odf[best_odf].time_per_iteration, odf=best_odf)
     return fig
 
 
@@ -248,21 +271,21 @@ def figure8(
     progress=None,
     odfs: Sequence[int] = (1, 8),
     strategies: Sequence[FusionStrategy] = tuple(FusionStrategy),
+    runner=None,
 ) -> FigureData:
     """Fig. 8: kernel-fusion strategies on GPU-aware Charm++ Jacobi3D,
     768³ global grid, strong scaling, at ODF 1 and ODF 8."""
     nodes = tuple(nodes or QUICK_NODES["fig8"])
-    fig = FigureData("fig8", "Kernel fusion, 768^3 strong scaling (Charm-D)",
-                     "nodes", "time/iter (s)")
+    plan = ExperimentPlan("fig8", "Kernel fusion, 768^3 strong scaling (Charm-D)",
+                          "nodes", "time/iter (s)")
     grid = strong_grid(768)
     for odf in odfs:
         for strat in strategies:
-            series = fig.new_series(f"ODF-{odf} {_FUSION_LABEL[FusionStrategy.parse(strat)]}")
+            label = f"ODF-{odf} {_FUSION_LABEL[FusionStrategy.parse(strat)]}"
             for n in nodes:
-                cfg = _config("charm-d", n, grid, machine, odf=odf, fusion=strat)
-                res = _run(cfg, progress)
-                series.add(n, res.time_per_iteration)
-    return fig
+                plan.add(_config("charm-d", n, grid, machine, odf=odf, fusion=strat),
+                         label, n)
+    return plan.figure(_execute(plan, runner, progress))
 
 
 def figure9(
@@ -271,22 +294,35 @@ def figure9(
     progress=None,
     odfs: Sequence[int] = (1, 8),
     strategies: Sequence[FusionStrategy] = (FusionStrategy.NONE, FusionStrategy.C),
+    runner=None,
 ) -> FigureData:
     """Fig. 9: speedup from CUDA Graphs (vs the same configuration without
     graphs), with and without kernel fusion.  y > 1 means graphs help."""
     nodes = tuple(nodes or QUICK_NODES["fig9"])
-    fig = FigureData("fig9", "CUDA Graphs speedup, 768^3 strong scaling (Charm-D)",
-                     "nodes", "speedup (x)")
+    plan = ExperimentPlan("fig9", "CUDA Graphs speedup, 768^3 strong scaling (Charm-D)",
+                          "nodes", "speedup (x)")
     grid = strong_grid(768)
+    index: dict[tuple, int] = {}
+    strategies = tuple(FusionStrategy.parse(s) for s in strategies)
     for odf in odfs:
         for strat in strategies:
-            strat = FusionStrategy.parse(strat)
+            label = f"ODF-{odf} {_FUSION_LABEL[strat]}"
+            for n in nodes:
+                for graphs in (False, True):
+                    index[odf, strat, n, graphs] = plan.add(
+                        _config("charm-d", n, grid, machine, odf=odf, fusion=strat,
+                                cuda_graphs=graphs),
+                        label, n)
+    results = _execute(plan, runner, progress)
+
+    # Speedup is a ratio of two points, so this figure assembles manually.
+    fig = FigureData(plan.figure_id, plan.title, plan.xlabel, plan.ylabel)
+    for odf in odfs:
+        for strat in strategies:
             series = fig.new_series(f"ODF-{odf} {_FUSION_LABEL[strat]}")
             for n in nodes:
-                base = _run(_config("charm-d", n, grid, machine, odf=odf, fusion=strat),
-                            progress)
-                graph = _run(_config("charm-d", n, grid, machine, odf=odf, fusion=strat,
-                                     cuda_graphs=True), progress)
+                base = results[index[odf, strat, n, False]]
+                graph = results[index[odf, strat, n, True]]
                 series.add(n, base.time_per_iteration / graph.time_per_iteration)
     return fig
 
@@ -303,21 +339,24 @@ def odf_sweep(
     odfs: Sequence[int] = (1, 2, 4, 8, 16),
     machine=None,
     progress=None,
+    runner=None,
 ) -> FigureData:
     """Time/iteration vs ODF for the Charm++ versions (weak-scaled grid of
     ``base`` per node).  Reproduces the §IV-B observations: ODF ≈ 4 best for
-    the 1536³ problem, ODF 1 best for 192³."""
+    the 1536³ problem, ODF 1 best for 192³.
+
+    With a cached runner, points shared with :func:`figure7c`'s per-ODF
+    series (same config) are reused rather than re-simulated.
+    """
     grid = weak_grid(base, nodes)
-    fig = FigureData(
+    plan = ExperimentPlan(
         "odf_sweep",
         f"ODF sweep, {base[0]}^3 per node on {nodes} nodes",
         "ODF",
         "time/iter (s)",
     )
     for version in versions:
-        series = fig.new_series(version)
         for odf in odfs:
-            cfg = _config(version, nodes, grid, machine, odf=odf)
-            res = _run(cfg, progress)
-            series.add(odf, res.time_per_iteration, util=res.gpu_utilization)
-    return fig
+            plan.add(_config(version, nodes, grid, machine, odf=odf),
+                     version, odf, meta_fields=_UTIL)
+    return plan.figure(_execute(plan, runner, progress))

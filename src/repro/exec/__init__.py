@@ -1,0 +1,33 @@
+"""Experiment execution layer: plans, parallel runner, result cache.
+
+Every figure, ODF sweep, and benchmark in this repo is a set of
+independent, deterministic simulations.  This package turns them into
+declarative :class:`ExperimentPlan` job lists executed by a
+:class:`ParallelRunner` with process-pool fan-out and a content-addressed
+:class:`ResultCache` — see ``docs/execution.md``.
+"""
+
+from .cache import MODEL_VERSION, CacheStats, ResultCache, config_key, default_cache_dir
+from .plan import ExperimentPlan, ExperimentPoint
+from .runner import (
+    ExperimentTimeout,
+    ParallelRunner,
+    PointOutcome,
+    RunnerStats,
+    default_worker,
+)
+
+__all__ = [
+    "MODEL_VERSION",
+    "CacheStats",
+    "ResultCache",
+    "config_key",
+    "default_cache_dir",
+    "ExperimentPlan",
+    "ExperimentPoint",
+    "ExperimentTimeout",
+    "ParallelRunner",
+    "PointOutcome",
+    "RunnerStats",
+    "default_worker",
+]

@@ -13,7 +13,7 @@ simulated machine, so experiments are reproducible from their config alone.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from typing import Optional
 
 __all__ = [
@@ -192,6 +192,33 @@ class MachineSpec:
     def small_debug(cls) -> "MachineSpec":
         """A 2-GPU-per-node machine for fast functional tests."""
         return cls(name="debug", node=NodeSpec(gpus_per_node=2), max_nodes=64)
+
+    # -- serialization -------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-data form (nested dicts of numbers/strings) of every spec
+        field.  Used for worker dispatch and as part of the content-addressed
+        result-cache key, so it must cover *all* calibration constants: any
+        field change must change the dict."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "MachineSpec":
+        """Inverse of :meth:`to_dict`."""
+        node = d["node"]
+        return cls(
+            name=d["name"],
+            node=NodeSpec(
+                gpus_per_node=node["gpus_per_node"],
+                gpu=GpuSpec(**node["gpu"]),
+                host_link=HostLinkSpec(**node["host_link"]),
+                nic=NicSpec(**node["nic"]),
+                intra_node_bandwidth=node["intra_node_bandwidth"],
+                intra_node_latency_s=node["intra_node_latency_s"],
+            ),
+            topology=TopologySpec(**d["topology"]),
+            ucx=UcxSpec(**d["ucx"]),
+            max_nodes=d["max_nodes"],
+        )
 
     # -- ablation helpers ----------------------------------------------------
     def with_gpu(self, **kwargs) -> "MachineSpec":

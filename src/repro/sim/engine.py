@@ -378,8 +378,11 @@ class Engine:
             Stop (with ``now = until``) before processing events scheduled
             after this time.
         max_events:
-            Safety valve: raise :class:`SimulationError` after this many
-            events (catches accidental infinite event loops in tests).
+            Safety valve: raise :class:`SimulationError` once exactly
+            ``max_events`` events have been processed and more remain
+            (catches accidental infinite event loops in tests).  A program
+            that finishes in exactly ``max_events`` events does not raise.
+            Same semantics as in :meth:`run_until_complete`.
 
         Raises
         ------
@@ -393,6 +396,8 @@ class Engine:
                 if until is not None and self.peek() > until:
                     self.now = until
                     return
+                if max_events is not None and count >= max_events:
+                    raise SimulationError(f"exceeded max_events={max_events}")
                 time, _prio, _seq, event = heapq.heappop(self._heap)
                 self.now = time
                 watched = bool(event.callbacks)
@@ -400,8 +405,6 @@ class Engine:
                 if isinstance(event, Process) and not event.ok and not watched:
                     self._raise_crash(event)
                 count += 1
-                if max_events is not None and count > max_events:
-                    raise SimulationError(f"exceeded max_events={max_events}")
         except StopEngine:
             return
         if until is not None and until > self.now:
@@ -410,17 +413,21 @@ class Engine:
     def run_until_complete(self, *events: Event, max_events: Optional[int] = None) -> list[Any]:
         """Run until every event in ``events`` has triggered; return values.
 
-        Raises :class:`ProcessCrashed` if a watched process failed.
+        Raises :class:`ProcessCrashed` if a watched process failed, and
+        :class:`SimulationError` once exactly ``max_events`` events have
+        been processed with the awaited events still pending (same
+        semantics as :meth:`run`).
         """
         done = self.all_of(events)
+        count = 0
         while not done.triggered and self._heap:
+            if max_events is not None and count >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events} in run_until_complete")
             time, _prio, _seq, event = heapq.heappop(self._heap)
             self.now = time
             event._process()
-            if max_events is not None:
-                max_events -= 1
-                if max_events < 0:
-                    raise SimulationError("exceeded max_events in run_until_complete")
+            count += 1
         if not done.triggered:
             raise SimulationError("event heap drained before awaited events triggered (deadlock?)")
         if not done.ok:

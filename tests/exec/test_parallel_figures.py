@@ -1,0 +1,67 @@
+"""End-to-end guarantees of the execution layer at figure scale:
+
+* a ``--jobs 4`` figure is byte-identical to its serial run (the simulator
+  is deterministic and cache round-trips are exact), and
+* a repeated cached invocation is 100% cache hits and >= 5x faster.
+"""
+
+import time
+
+from repro.cli import main
+from repro.core import figure7b, odf_sweep
+from repro.exec import ParallelRunner, ResultCache
+
+NODES = ["1", "2"]  # quick-ladder prefix: 8 points for fig 7a
+
+
+def _figure_7a(tmp_path, out_name, *extra):
+    out = tmp_path / out_name
+    args = ["figure", "7a", "--nodes", *NODES, "--no-plot", "--quiet",
+            "--save", str(out), *extra]
+    t0 = time.perf_counter()
+    assert main(args) == 0
+    return out, time.perf_counter() - t0
+
+
+def test_cli_jobs4_byte_identical_then_all_cache_hits(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    serial, t_serial = _figure_7a(tmp_path, "serial.json", "--no-cache")
+    parallel, _ = _figure_7a(tmp_path, "parallel.json", "--jobs", "4",
+                             "--cache-dir", cache)
+    assert parallel.read_bytes() == serial.read_bytes()
+
+    capsys.readouterr()  # drop output of the cold runs
+    warm, t_warm = _figure_7a(tmp_path, "warm.json", "--jobs", "4",
+                              "--cache-dir", cache)
+    assert warm.read_bytes() == serial.read_bytes()
+    err = capsys.readouterr().err
+    assert "8/8 points, 8 cache hits" in err  # 100% hits
+    assert t_serial >= 5 * t_warm, (
+        f"cached re-run not >=5x faster: serial {t_serial:.2f}s vs warm {t_warm:.2f}s")
+
+
+def test_figure_parallel_equals_serial_exactly():
+    serial = figure7b(nodes=(1, 2))
+    parallel = figure7b(nodes=(1, 2), runner=ParallelRunner(jobs=4))
+    assert parallel.to_dict() == serial.to_dict()
+
+
+def test_sweep_shares_cache_across_invocations(tmp_path):
+    cache = ResultCache(tmp_path)
+    kwargs = dict(base=(192, 192, 192), nodes=2, odfs=(1, 2), versions=("charm-d",))
+    cold = ParallelRunner(jobs=2, cache=cache)
+    first = odf_sweep(runner=cold, **kwargs)
+    assert cold.stats.cache_hits == 0
+    warm = ParallelRunner(jobs=2, cache=cache)
+    second = odf_sweep(runner=warm, **kwargs)
+    assert warm.stats.cache_hits == warm.stats.points == 2
+    assert second.to_dict() == first.to_dict()
+
+
+def test_cli_sweep_accepts_exec_flags(tmp_path, capsys):
+    rc = main(["sweep", "--base", "192", "--nodes", "2", "--odfs", "1", "2",
+               "--jobs", "2", "--cache-dir", str(tmp_path / "c")])
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "best ODF" in captured.out
+    assert "[exec]" in captured.err

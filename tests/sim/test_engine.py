@@ -294,6 +294,36 @@ def test_max_events_guard():
         eng.run(max_events=50)
 
 
+def test_max_events_exact_budget_run_and_run_until_complete():
+    """Regression: ``run`` and ``run_until_complete`` agree — a program of
+    exactly N events completes under ``max_events=N`` and raises under
+    ``max_events=N - 1`` (previously ``run`` allowed one extra event)."""
+    n = 5
+
+    def fresh_timeouts(eng):
+        return [eng.timeout(float(i)) for i in range(n)]  # exactly n events
+
+    eng = Engine()
+    fresh_timeouts(eng)
+    eng.run(max_events=n)  # exact budget: fine
+    assert eng.now == n - 1
+
+    eng = Engine()
+    fresh_timeouts(eng)
+    with pytest.raises(SimulationError, match=f"max_events={n - 1}"):
+        eng.run(max_events=n - 1)
+
+    eng = Engine()
+    timeouts = fresh_timeouts(eng)
+    values = eng.run_until_complete(*timeouts, max_events=n)  # exact budget
+    assert len(values) == n
+
+    eng = Engine()
+    timeouts = fresh_timeouts(eng)
+    with pytest.raises(SimulationError, match=f"max_events={n - 1}"):
+        eng.run_until_complete(*timeouts, max_events=n - 1)
+
+
 def test_interrupt_wakes_process():
     eng = Engine()
     seen = []
