@@ -6,23 +6,31 @@
 * ``charm-d`` — Charm++ with GPU-aware communication (Channel API)
 
 plus kernel-fusion strategies A/B/C, CUDA Graphs, the legacy
-pre-optimization baseline of Fig. 6, and a manual-overlap MPI extension.
+pre-optimization baseline of Fig. 6, and two extensions: a manual-overlap
+MPI branch and AMPI frontends (``ampi-h``/``ampi-d``) running the
+unchanged MPI rank program as virtualized ranks on the Charm++ runtime.
 """
 
+from .ampi_app import make_ampi_rank_class
 from .charm_app import make_block_class
-from .config import VERSIONS, Jacobi3DConfig, Jacobi3DResult
-from .context import AppContext, BlockData, MetricsCollector
+from .config import ALL_VERSIONS, VERSIONS, Jacobi3DConfig, Jacobi3DResult
+from .context import AppContext, BlockData, MetricsCollector, ResidualHistory
 from .driver import run_jacobi3d
 from .mpi_app import make_rank_class
+from .rank_program import make_rank_program
 
 __all__ = [
     "make_block_class",
     "VERSIONS",
+    "ALL_VERSIONS",
     "Jacobi3DConfig",
     "Jacobi3DResult",
     "AppContext",
     "BlockData",
     "MetricsCollector",
+    "ResidualHistory",
     "run_jacobi3d",
     "make_rank_class",
+    "make_ampi_rank_class",
+    "make_rank_program",
 ]

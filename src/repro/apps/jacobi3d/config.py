@@ -10,10 +10,16 @@ import numpy as np
 from ...hardware.specs import MachineSpec
 from ...kernels.fusion import FusionStrategy
 
-__all__ = ["Jacobi3DConfig", "Jacobi3DResult", "VERSIONS"]
+__all__ = ["Jacobi3DConfig", "Jacobi3DResult", "VERSIONS", "ALL_VERSIONS"]
 
 #: The paper's four versions (§IV-A): MPI/Charm++ × host-staging/GPU-aware.
 VERSIONS = ("mpi-h", "mpi-d", "charm-h", "charm-d")
+
+#: All runnable frontends: the paper's four plus AMPI (virtualized MPI ranks
+#: hosted on the Charm++ runtime; ``odf`` is the virtualization ratio).
+#: The AMPI versions exist for the cross-backend differential validation
+#: harness and the AMPI extension experiments, not for the paper's figures.
+ALL_VERSIONS = VERSIONS + ("ampi-h", "ampi-d")
 
 # Functional mode actually allocates and computes every block; keep it for
 # test-scale grids unless explicitly overridden.
@@ -27,14 +33,17 @@ class Jacobi3DConfig:
     Parameters
     ----------
     version:
-        ``"mpi-h"`` | ``"mpi-d"`` | ``"charm-h"`` | ``"charm-d"``.
+        ``"mpi-h"`` | ``"mpi-d"`` | ``"charm-h"`` | ``"charm-d"`` —
+        plus ``"ampi-h"`` | ``"ampi-d"`` (virtualized MPI ranks on the
+        Charm++ runtime; used by the differential validation harness).
     nodes:
         Node count (6 GPUs/PEs per node on Summit).
     grid:
         Global grid dimensions (cells).
     odf:
-        Overdecomposition factor — chares per PE (Charm++ versions only;
-        MPI is always one rank per GPU).
+        Overdecomposition factor — chares per PE (Charm++ versions) or
+        virtual ranks per PE (AMPI versions); plain MPI is always one
+        rank per GPU.
     iterations / warmup:
         Measured iterations and untimed warmup iterations (the paper uses
         100 + 10; the model reaches steady state after one iteration).
@@ -73,8 +82,8 @@ class Jacobi3DConfig:
     allow_large_functional: bool = False
 
     def __post_init__(self):
-        if self.version not in VERSIONS:
-            raise ValueError(f"unknown version {self.version!r}; expected one of {VERSIONS}")
+        if self.version not in ALL_VERSIONS:
+            raise ValueError(f"unknown version {self.version!r}; expected one of {ALL_VERSIONS}")
         object.__setattr__(self, "fusion", FusionStrategy.parse(self.fusion))
         if self.nodes < 1:
             raise ValueError("nodes must be >= 1")
@@ -112,6 +121,10 @@ class Jacobi3DConfig:
         return self.version.startswith("charm")
 
     @property
+    def is_ampi(self) -> bool:
+        return self.version.startswith("ampi")
+
+    @property
     def gpu_aware(self) -> bool:
         """Device-resident halos (CUDA-aware MPI / Channel API)."""
         return self.version.endswith("-d")
@@ -128,7 +141,7 @@ class Jacobi3DConfig:
         return self.nodes * self.machine.node.pes_per_node
 
     def n_blocks(self) -> int:
-        return self.n_pes() * (self.odf if self.is_charm else 1)
+        return self.n_pes() * (1 if self.is_mpi else self.odf)
 
     def with_(self, **kwargs) -> "Jacobi3DConfig":
         """A modified copy (sweep helper)."""
@@ -183,6 +196,7 @@ class Jacobi3DResult:
     overlap_s: float
     max_halo_bytes: int
     blocks: Optional[dict] = None  # functional mode: index -> interior array
+    residuals: Optional[list] = None  # functional mode: per-iteration max-norm deltas
 
     def assemble_grid(self, geometry) -> np.ndarray:
         """Stitch functional-mode block interiors into the global interior."""

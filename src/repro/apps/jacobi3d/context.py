@@ -26,7 +26,45 @@ from ...kernels import (
 from ..decomposition import BlockGeometry
 from .config import Jacobi3DConfig
 
-__all__ = ["AppContext", "BlockData", "MetricsCollector"]
+__all__ = ["AppContext", "BlockData", "MetricsCollector", "ResidualHistory"]
+
+
+class ResidualHistory:
+    """Per-iteration residual of the Jacobi sweep (functional mode).
+
+    Each block records the max-norm delta ``max |out - u|`` over its own
+    interior cells for every iteration; :meth:`history` combines blocks by
+    ``max``.  Because every global interior cell belongs to exactly one
+    block and ``max`` is an exact selection (no rounding), the combined
+    history is **bitwise identical** across decompositions, schedules and
+    runtimes — which is exactly what the differential validation harness
+    (:mod:`repro.validate.differential`) asserts.
+    """
+
+    def __init__(self, n_blocks: int, total_iterations: int):
+        self.n_blocks = n_blocks
+        self.total_iterations = total_iterations
+        self._deltas: dict[int, dict] = {}  # iteration -> {block index: delta}
+
+    def record(self, block_index, iteration: int, delta: float) -> None:
+        per_block = self._deltas.setdefault(iteration, {})
+        key = tuple(block_index)
+        if key in per_block:
+            raise RuntimeError(f"block {key} recorded iteration {iteration} twice")
+        per_block[key] = delta
+
+    def history(self) -> list[float]:
+        """Combined per-iteration residuals; raises if any block is missing."""
+        out = []
+        for it in range(self.total_iterations):
+            per_block = self._deltas.get(it, {})
+            if len(per_block) != self.n_blocks:
+                raise RuntimeError(
+                    f"iteration {it}: only {len(per_block)}/{self.n_blocks} "
+                    "blocks recorded a residual"
+                )
+            out.append(max(per_block.values()))
+        return out
 
 
 class MetricsCollector:
@@ -116,6 +154,8 @@ class BlockData:
         self.device_bytes = 2 * 8 * vol + 2 * sum(self.face_bytes.values())
         # Functional state.
         self._functional = cfg.functional
+        self._residuals = ctx.residuals
+        self._iteration = 0
         if self._functional:
             self.u = alloc_block(self.dims)
             apply_boundary(self.u, ctx.boundary, geo.grid,
@@ -145,6 +185,11 @@ class BlockData:
     def f_update(self) -> None:
         if self._functional:
             jacobi_update(self.u, self.out)
+            if self._residuals is not None:
+                delta = float(np.max(np.abs(
+                    self.out[1:-1, 1:-1, 1:-1] - self.u[1:-1, 1:-1, 1:-1])))
+                self._residuals.record(self.index, self._iteration, delta)
+            self._iteration += 1
             self.u, self.out = self.out, self.u
 
     def f_interior(self) -> Optional[np.ndarray]:
@@ -183,8 +228,10 @@ class AppContext:
         self.geometry = BlockGeometry.auto(config.n_blocks(), config.grid)
         self.boundary = hot_top_boundary
         self.initial_state = initial_state
-        self.metrics = MetricsCollector(config.n_blocks() if config.is_charm
-                                        else config.n_pes(), config.warmup)
+        self.metrics = MetricsCollector(config.n_pes() if config.is_mpi
+                                        else config.n_blocks(), config.warmup)
+        self.residuals = (ResidualHistory(config.n_blocks(), config.total_iterations)
+                          if config.functional else None)
 
     @property
     def shape(self) -> tuple[int, int, int]:

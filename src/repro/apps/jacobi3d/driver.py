@@ -4,10 +4,12 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ...ampi import AmpiWorld
 from ...hardware import COMPUTE, Cluster
 from ...mpi import MpiWorld
 from ...runtime import CharmRuntime
 from ...sim import Engine, Tracer, merge_intervals, overlap_seconds
+from .ampi_app import make_ampi_rank_class
 from .charm_app import make_block_class
 from .config import Jacobi3DConfig, Jacobi3DResult
 from .context import AppContext
@@ -20,6 +22,7 @@ def run_jacobi3d(
     config: Jacobi3DConfig,
     tracer: Optional[Tracer] = None,
     initial_state: Optional[dict] = None,
+    validate: bool = False,
 ) -> Jacobi3DResult:
     """Simulate one Jacobi3D run; returns measurements (and, in functional
     mode, every block's final interior).
@@ -29,11 +32,24 @@ def run_jacobi3d(
     condition.  The decomposition depends only on the total block count, so
     a checkpoint taken on N nodes restarts cleanly on M nodes whenever
     ``n_blocks`` matches (overdecomposition absorbs the difference).
+
+    ``validate=True`` attaches an :class:`~repro.validate.InvariantChecker`
+    for the whole run and raises :class:`~repro.validate.InvariantError`
+    if any simulation invariant is breached.  Monitors are pure observers:
+    the event schedule (and therefore every result) is unchanged.
     """
     engine = Engine()
     if tracer is not None:
         tracer.attach(engine)
     cluster = Cluster(engine, config.machine, config.nodes)
+    checker = None
+    if validate:
+        # Imported lazily: repro.validate's differential layer imports the
+        # apps package, so a top-level import here would be circular.
+        from ...validate.invariants import InvariantChecker
+
+        checker = InvariantChecker().attach(engine)
+        checker.watch_cluster(cluster)
     ctx = AppContext(config, initial_state=initial_state)
     metrics = ctx.metrics
 
@@ -44,6 +60,9 @@ def run_jacobi3d(
     if config.is_charm:
         runtime = CharmRuntime(cluster)
         runtime.observe(observer)
+        if checker is not None:
+            checker.watch_ucx(runtime.ucx)
+            checker.watch_runtime(runtime)
         array = runtime.create_array(
             make_block_class(ctx), shape=ctx.shape, mapping="block", name="jacobi"
         )
@@ -52,9 +71,22 @@ def run_jacobi3d(
         ucx = runtime.ucx
         if config.functional:
             blocks = {idx: ch.data.f_interior() for idx, ch in array.elements.items()}
+    elif config.is_ampi:
+        world = AmpiWorld(cluster, vranks=config.n_blocks())
+        world.observe(observer)
+        if checker is not None:
+            checker.watch_ucx(world.runtime.ucx)
+            checker.watch_runtime(world.runtime)
+        ranks = world.launch(make_ampi_rank_class(ctx))
+        world.run()
+        ucx = world.runtime.ucx
+        if config.functional:
+            blocks = {r.index: r.data.f_interior() for r in ranks}
     else:
         world = MpiWorld(cluster)
         world.observe(observer)
+        if checker is not None:
+            checker.watch_ucx(world.ucx)
         ranks = world.launch(make_rank_class(ctx))
         world.run()
         ucx = world.ucx
@@ -62,6 +94,8 @@ def run_jacobi3d(
             blocks = {r.index: r.data.f_interior() for r in ranks}
 
     metrics.check_complete(config.total_iterations)
+    if checker is not None:
+        checker.finish()
     t_end = engine.now
     t_warm = metrics.warmup_boundary
     measured = t_end - t_warm
@@ -99,4 +133,5 @@ def run_jacobi3d(
         overlap_s=overlap,
         max_halo_bytes=ctx.geometry.max_face_bytes(),
         blocks=blocks,
+        residuals=ctx.residuals.history() if config.functional else None,
     )

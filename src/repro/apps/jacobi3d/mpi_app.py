@@ -7,16 +7,17 @@ sync, send, **block** in ``MPI_Waitall``, unpack, update, block again.
 ``mpi_overlap=True`` enables Fig. 1's manual-overlap branch as an
 extension: the interior update is launched while halo exchanges are in
 flight, and only the exterior update waits for them.
+
+The loop itself lives in :mod:`.rank_program` — the identical program runs
+under AMPI (:mod:`.ampi_app`), which is what the differential validation
+harness compares against.
 """
 
 from __future__ import annotations
 
-from ...comm.ucx import PRIORITY_COMM, PRIORITY_COMPUTE
-from ...hardware.gpu import COPY_D2H, COPY_H2D, CopyWork
-from ...kernels import opposite
 from ...mpi import MpiProcess
-from ...runtime.mapping import linearize
 from .context import AppContext
+from .rank_program import make_rank_program
 
 __all__ = ["make_rank_class"]
 
@@ -24,117 +25,14 @@ __all__ = ["make_rank_class"]
 def make_rank_class(ctx: AppContext):
     """A fresh rank class bound to this run's context."""
 
-    shape = ctx.geometry.shape
-
-    def rank_to_index(rank: int) -> tuple[int, int, int]:
-        px, py, pz = shape
-        x, rem = divmod(rank, py * pz)
-        y, z = divmod(rem, pz)
-        return (x, y, z)
-
-    class JacobiRank(MpiProcess):
-        app = ctx
-
+    class JacobiRank(make_rank_program(ctx), MpiProcess):
         def init(self):
-            cfg = ctx.config
-            self.index = rank_to_index(self.rank)
-            self.data = ctx.block_data(self.index)
-            self.gpu.malloc(self.data.device_bytes)
-            self.comm_stream = self.gpu.create_stream(
-                priority=PRIORITY_COMM, name=f"{self.gpu.name}.comm"
-            )
-            self.d2h_stream = self.gpu.create_stream(
-                priority=PRIORITY_COMM, name=f"{self.gpu.name}.d2h"
-            )
-            self.h2d_stream = self.gpu.create_stream(
-                priority=PRIORITY_COMM, name=f"{self.gpu.name}.h2d"
-            )
-            self.update_stream = self.gpu.create_stream(
-                priority=PRIORITY_COMPUTE, name=f"{self.gpu.name}.upd"
-            )
-            self.update_done = None
+            # pe/gpu are bound at construction: device setup happens here,
+            # preserving the historical event ordering (and cached results).
+            self._bind_block()
+            self._setup_device()
 
         def main(self, msg=None):
-            cfg = ctx.config
-            d = self.data
-            device = cfg.gpu_aware
-            engine = self.world.engine
-            for it in range(cfg.total_iterations):
-                # Post all receives first (paper Fig. 1).
-                recv_reqs = {}
-                for face, nbr in d.neighbors.items():
-                    nbr_rank = linearize(nbr, shape)
-                    recv_reqs[face] = yield self.irecv(
-                        nbr_rank, d.face_bytes[face], tag=(it, face), device=device
-                    )
-                # Pack halos (stream-dependent on the previous update), plus
-                # explicit D2H staging for the host version.
-                dep = [self.update_done] if self.update_done is not None else []
-                ready = []
-                for face in d.neighbors:
-                    p = yield self.launch(
-                        self.comm_stream, d.packs[face], name=f"pack{face}", wait=dep
-                    )
-                    if device:
-                        ready.append(p.done)
-                    else:
-                        c = yield self.launch(
-                            self.d2h_stream,
-                            CopyWork(d.face_bytes[face], COPY_D2H),
-                            name=f"d2h{face}",
-                            wait=[p.done],
-                        )
-                        ready.append(c.done)
-                d.f_pack_all()
-                if ready:
-                    # Blocking cudaStreamSynchronize before sending.
-                    yield self.sync(engine.all_of(ready))
-                send_reqs = []
-                for face, nbr in d.neighbors.items():
-                    nbr_rank = linearize(nbr, shape)
-                    send_reqs.append((yield self.isend(
-                        nbr_rank, d.face_bytes[face], tag=(it, opposite(face)),
-                        device=device, payload=d.f_halo(face),
-                    )))
-                interior_op = None
-                if cfg.mpi_overlap:
-                    # Manual overlap: interior update is independent of halos.
-                    interior_op = yield self.launch(
-                        self.update_stream, d.interior, name="interior"
-                    )
-                # Block in MPI_Waitall until every halo moved.
-                yield self.waitall(list(recv_reqs.values()) + send_reqs)
-                # Unpack (+ H2D staging for the host version).
-                unpack_events = []
-                for face, req in recv_reqs.items():
-                    waits = []
-                    if not device:
-                        h = yield self.launch(
-                            self.h2d_stream,
-                            CopyWork(d.face_bytes[face], COPY_H2D),
-                            name=f"h2d{face}",
-                        )
-                        waits = [h.done]
-                    op = yield self.launch(
-                        self.comm_stream, d.unpacks[face], name=f"unpack{face}",
-                        wait=waits,
-                    )
-                    unpack_events.append(op.done)
-                    d.f_unpack(face, req.data)
-                if cfg.mpi_overlap:
-                    upd = yield self.launch(
-                        self.update_stream, d.exterior, name="exterior",
-                        wait=unpack_events + [interior_op.done],
-                    )
-                else:
-                    upd = yield self.launch(
-                        self.update_stream, d.update, name="update", wait=unpack_events
-                    )
-                self.update_done = upd.done
-                d.f_update()
-                # Typical MPI GPU app: block until the update finishes.
-                yield self.sync(self.update_done)
-                self.notify("iter_done", iter=it)
-            self.notify("block_done")
+            yield from self._main_body()
 
     return JacobiRank

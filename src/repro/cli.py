@@ -17,6 +17,12 @@ simulations out over a process pool, and a content-addressed result cache
 results are bit-identical to serial uncached runs either way.
 ``protocols``
     Compare the Charm++ communication mechanisms across message sizes.
+``validate``
+    Correctness harness (docs/validation.md): the cross-runtime
+    differential matrix (Charm++/AMPI/MPI × fusion × CUDA graphs, bitwise
+    physics) with the invariant checker attached, plus the golden-trace
+    regression store under ``tests/golden`` (refresh with
+    ``--update-golden``).
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ from typing import Optional, Sequence
 
 from .analysis import render_figure
 from .apps import Jacobi3DConfig, run_jacobi3d
+from .apps.jacobi3d import ALL_VERSIONS
 from .exec import ParallelRunner, ResultCache, default_cache_dir
 from .core import (
     FULL_NODES,
@@ -69,8 +76,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_p = sub.add_parser("run", help="run one Jacobi3D configuration")
-    run_p.add_argument("--version", default="charm-d",
-                       choices=["mpi-h", "mpi-d", "charm-h", "charm-d"])
+    run_p.add_argument("--version", default="charm-d", choices=list(ALL_VERSIONS))
     run_p.add_argument("--nodes", type=int, default=1)
     run_p.add_argument("--grid", type=int, nargs=3, default=[192, 192, 192],
                        metavar=("X", "Y", "Z"))
@@ -83,6 +89,8 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="pre-optimization baseline (Fig. 6)")
     run_p.add_argument("--functional", action="store_true",
                        help="real NumPy data (small grids only)")
+    run_p.add_argument("--validate", action="store_true",
+                       help="run under the simulation invariant checker")
 
     fig_p = sub.add_parser("figure", help="regenerate a paper figure")
     fig_p.add_argument("id", choices=sorted(_FIGURES))
@@ -101,6 +109,16 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_exec_flags(sweep_p)
 
     sub.add_parser("protocols", help="compare communication mechanisms")
+
+    val_p = sub.add_parser("validate", help="correctness harness (docs/validation.md)")
+    val_p.add_argument("--quick", action="store_true",
+                       help="cross-runtime differential cases only (skip "
+                            "fusion/graphs variants and the golden store)")
+    val_p.add_argument("--update-golden", action="store_true",
+                       help="refresh the golden-trace entries instead of checking them")
+    val_p.add_argument("--golden-dir", metavar="DIR", default=None,
+                       help="golden store location (default tests/golden)")
+    val_p.add_argument("--quiet", action="store_true", help="no per-case progress")
     return parser
 
 
@@ -118,13 +136,15 @@ def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
                         help="disable the content-addressed result cache")
     parser.add_argument("--cache-dir", metavar="DIR", default=None,
                         help="cache location (default $REPRO_CACHE_DIR or ~/.cache/repro)")
+    parser.add_argument("--validate", action="store_true",
+                        help="run every simulated point under the invariant checker")
 
 
 def _make_runner(args) -> ParallelRunner:
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir or default_cache_dir())
-    return ParallelRunner(jobs=args.jobs, cache=cache)
+    return ParallelRunner(jobs=args.jobs, cache=cache, validate=args.validate)
 
 
 def _cmd_run(args) -> int:
@@ -140,7 +160,7 @@ def _cmd_run(args) -> int:
         legacy_sync=args.legacy,
         data_mode="functional" if args.functional else "modeled",
     )
-    result = run_jacobi3d(config)
+    result = run_jacobi3d(config, validate=args.validate)
     print(result.summary())
     print(f"  time/iteration : {result.time_per_iteration * 1e6:12.2f} us")
     print(f"  total time     : {result.total_time * 1e3:12.3f} ms")
@@ -189,6 +209,39 @@ def _cmd_protocols(_args) -> int:
     return 0
 
 
+def _cmd_validate(args) -> int:
+    # Imported here: the validate package pulls in the whole app stack,
+    # which the other subcommands do not need at parse time.
+    from .validate import CANONICAL_CONFIGS, GoldenStore, run_differential_matrix
+
+    def progress(label, diff):
+        if args.quiet:
+            return
+        if diff is None:
+            print(f"  running {label} ...", file=sys.stderr)
+        else:
+            print(f"  {diff}", file=sys.stderr)
+
+    report = run_differential_matrix(quick=args.quick, progress=progress)
+    print(report.report())
+    ok = report.ok
+
+    store = GoldenStore(args.golden_dir)
+    if args.update_golden:
+        paths = store.update_all()
+        print(f"golden store: refreshed {len(paths)} entries in {store.root}")
+    elif not args.quick:
+        problems = store.check_all()
+        if problems:
+            ok = False
+            print(f"golden store: {len(problems)} mismatch(es)")
+            for p in problems:
+                print(f"  {p}")
+        else:
+            print(f"golden store: {len(CANONICAL_CONFIGS)} entries clean")
+    return 0 if ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -196,6 +249,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "figure": _cmd_figure,
         "sweep": _cmd_sweep,
         "protocols": _cmd_protocols,
+        "validate": _cmd_validate,
     }
     return handlers[args.command](args)
 

@@ -94,6 +94,10 @@ class UcxContext:
         self._pending_recvs: dict[tuple, deque] = defaultdict(deque)
         self._devices: dict[int, _DeviceCommState] = {}
         self.protocol_counts: dict[Protocol, int] = defaultdict(int)
+        #: Optional observer with ``on_post(handle)``, called for every
+        #: isend/irecv handle — the validation layer uses it to verify that
+        #: every posted operation eventually completes.
+        self.monitor = None
 
     # -- public API -----------------------------------------------------------
     def isend(
@@ -117,6 +121,8 @@ class UcxContext:
         same_node = self.net.node_of_pe(src_pe) == self.net.node_of_pe(dst_pe)
         handle.protocol = select_protocol(self.spec, size, on_device, same_node=same_node)
         self.protocol_counts[handle.protocol] += 1
+        if self.monitor is not None:
+            self.monitor.on_post(handle)
         self._match(handle)
         self.engine.process(
             self._send_proc(handle, priority), name=f"ucx.send{src_pe}->{dst_pe}"
@@ -133,6 +139,8 @@ class UcxContext:
     ) -> TransferHandle:
         """Post a nonblocking receive; ``done`` fires with data in place."""
         handle = self._make_handle("recv", src_pe, dst_pe, size, tag, on_device)
+        if self.monitor is not None:
+            self.monitor.on_post(handle)
         self._match(handle)
         return handle
 

@@ -15,6 +15,7 @@ from .runner import (
     PointOutcome,
     RunnerStats,
     default_worker,
+    validating_worker,
 )
 
 __all__ = [
@@ -30,4 +31,5 @@ __all__ = [
     "PointOutcome",
     "RunnerStats",
     "default_worker",
+    "validating_worker",
 ]

@@ -39,6 +39,7 @@ __all__ = [
     "RunnerStats",
     "ParallelRunner",
     "default_worker",
+    "validating_worker",
 ]
 
 
@@ -50,6 +51,15 @@ def default_worker(config_dict: dict):
     """Reconstruct the config and run the simulation (executes in worker
     processes; must stay module-level so it pickles)."""
     return run_jacobi3d(Jacobi3DConfig.from_dict(config_dict))
+
+
+def validating_worker(config_dict: dict):
+    """:func:`default_worker` with the invariant checker attached: the run
+    raises :class:`~repro.validate.InvariantError` on any simulation
+    invariant breach instead of returning a silently-wrong result.
+    Results are bit-identical to :func:`default_worker`'s (monitors are
+    pure observers)."""
+    return run_jacobi3d(Jacobi3DConfig.from_dict(config_dict), validate=True)
 
 
 def _timed_call(worker, config_dict: dict):
@@ -115,6 +125,11 @@ class ParallelRunner:
         Defaults to :func:`default_worker`; injectable for tests.
     on_point:
         Default progress callback (overridable per ``run`` call).
+    validate:
+        Run every *simulated* point under the invariant checker
+        (:func:`validating_worker`): a breached invariant raises instead
+        of producing a wrong result.  Cache hits skip the simulation and
+        therefore the audit.  Ignored when ``worker`` is given.
     """
 
     def __init__(
@@ -124,13 +139,15 @@ class ParallelRunner:
         timeout: Optional[float] = None,
         worker: Optional[Callable] = None,
         on_point: Optional[ProgressFn] = None,
+        validate: bool = False,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
         self.cache = cache
         self.timeout = timeout
-        self.worker = worker or default_worker
+        self.validate = validate
+        self.worker = worker or (validating_worker if validate else default_worker)
         self.on_point = on_point
         self.stats = RunnerStats(jobs=jobs)
 

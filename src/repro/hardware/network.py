@@ -79,7 +79,11 @@ class Network:
         self.intra = [Resource(engine, name=f"n{i}.intra") for i in range(n_nodes)]
         self.inflight = IntervalTracker(engine, "net.inflight")
         self.messages_sent = 0
+        self.messages_delivered = 0
         self.bytes_sent = 0
+        #: Optional observer with ``on_send(message)`` / ``on_deliver(message)``
+        #: — the validation layer's hook for per-channel message conservation.
+        self.monitor = None
 
     # -- helpers ------------------------------------------------------------
     def node_of_pe(self, pe: int) -> int:
@@ -110,6 +114,8 @@ class Network:
         message.sent_at = eng.now
         self.messages_sent += 1
         self.bytes_sent += message.size
+        if self.monitor is not None:
+            self.monitor.on_send(message)
         token = self.inflight.begin()
         trace(eng, "net.send", f"pe{message.src_pe}", dst=message.dst_pe, size=message.size,
               tag=message.tag)
@@ -129,6 +135,9 @@ class Network:
             self.eject[dst_node].release(ej)
             yield eng.timeout(self.wire_latency(src_node, dst_node))
         message.delivered_at = eng.now
+        self.messages_delivered += 1
+        if self.monitor is not None:
+            self.monitor.on_deliver(message)
         self.inflight.end(token)
         trace(eng, "net.deliver", f"pe{message.dst_pe}", src=message.src_pe,
               size=message.size, tag=message.tag, latency=eng.now - message.sent_at)

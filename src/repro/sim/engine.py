@@ -323,6 +323,21 @@ class Engine:
         self._seq = 0
         self._active_process: Optional[Process] = None
         self.tracer = None  # set by sim.tracing.Tracer.attach()
+        self._monitors: list[Callable[[float, Event], None]] = []
+
+    # -- monitoring --------------------------------------------------------
+    def add_monitor(self, fn: Callable[[float, "Event"], None]) -> None:
+        """Register ``fn(time, event)`` to observe every processed event.
+
+        Monitors fire after an event is popped from the heap and before its
+        callbacks run — the hook the validation layer's invariant checker
+        uses to audit time monotonicity without touching the hot path
+        (a single list check when no monitor is attached).
+        """
+        self._monitors.append(fn)
+
+    def remove_monitor(self, fn: Callable[[float, "Event"], None]) -> None:
+        self._monitors.remove(fn)
 
     # -- event construction ------------------------------------------------
     def event(self, name: str = "") -> Event:
@@ -367,6 +382,9 @@ class Engine:
         if time < self.now:
             raise SimulationError("event heap corrupted: time went backwards")
         self.now = time
+        if self._monitors:
+            for monitor in self._monitors:
+                monitor(time, event)
         event._process()
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
@@ -400,6 +418,9 @@ class Engine:
                     raise SimulationError(f"exceeded max_events={max_events}")
                 time, _prio, _seq, event = heapq.heappop(self._heap)
                 self.now = time
+                if self._monitors:
+                    for monitor in self._monitors:
+                        monitor(time, event)
                 watched = bool(event.callbacks)
                 event._process()
                 if isinstance(event, Process) and not event.ok and not watched:
@@ -426,6 +447,9 @@ class Engine:
                     f"exceeded max_events={max_events} in run_until_complete")
             time, _prio, _seq, event = heapq.heappop(self._heap)
             self.now = time
+            if self._monitors:
+                for monitor in self._monitors:
+                    monitor(time, event)
             event._process()
             count += 1
         if not done.triggered:

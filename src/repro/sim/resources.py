@@ -206,6 +206,11 @@ class Resource:
         self._waiters: list[tuple[float, int, Request]] = []
         self._counter = 0
         self.users: list[Request] = []
+        #: Optional observer with ``on_grant(resource, amount)`` /
+        #: ``on_release(resource, amount)`` — used by the validation layer to
+        #: independently audit capacity conservation.  ``None`` costs one
+        #: attribute check per grant.
+        self.monitor = None
 
     @property
     def available(self) -> int:
@@ -229,6 +234,8 @@ class Resource:
             raise SimulationError(f"release of non-held request on {self.name!r}")
         self.users.remove(request)
         self.in_use -= request.amount
+        if self.monitor is not None:
+            self.monitor.on_release(self, request.amount)
         self._grant()
 
     def _grant(self) -> None:
@@ -239,6 +246,8 @@ class Resource:
             heapq.heappop(self._waiters)
             self.in_use += req.amount
             self.users.append(req)
+            if self.monitor is not None:
+                self.monitor.on_grant(self, req.amount)
             req.succeed(req)
 
     def cancel(self, request: Request) -> None:

@@ -1,0 +1,53 @@
+"""Simulation correctness tooling.
+
+Three layers (docs/validation.md):
+
+* :mod:`~repro.validate.invariants` — :class:`InvariantChecker`, a live
+  auditor attached to the DES engine, every exclusive resource, the network
+  and the UCX engine; asserts time monotonicity, capacity conservation, and
+  message conservation, plus end-of-run "nothing dangling" checks.
+* :mod:`~repro.validate.differential` — runs one physical problem through
+  the Charm++, AMPI and MPI frontends (× fusion strategies × CUDA graphs)
+  and asserts bitwise-identical physics.
+* :mod:`~repro.validate.golden` — golden-trace regression store: canonical
+  configs hashed to trace digests + result summaries under ``tests/golden``.
+
+:mod:`~repro.validate.faults` holds test-only fault injectors used to prove
+the checker actually catches violations.
+"""
+
+from .invariants import InvariantChecker, InvariantError, Violation
+from .differential import (
+    CaseDiff,
+    DifferentialReport,
+    default_base,
+    default_matrix,
+    diff_histories,
+    run_differential_matrix,
+)
+from .golden import (
+    CANONICAL_CONFIGS,
+    GoldenStore,
+    default_golden_dir,
+    golden_entry,
+    golden_worker,
+    trace_digest,
+)
+
+__all__ = [
+    "InvariantChecker",
+    "InvariantError",
+    "Violation",
+    "CaseDiff",
+    "DifferentialReport",
+    "default_base",
+    "default_matrix",
+    "diff_histories",
+    "run_differential_matrix",
+    "CANONICAL_CONFIGS",
+    "GoldenStore",
+    "default_golden_dir",
+    "golden_entry",
+    "golden_worker",
+    "trace_digest",
+]

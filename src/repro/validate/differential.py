@@ -1,0 +1,214 @@
+"""Cross-backend differential validation.
+
+One physical problem, many execution paths: the Charm++, AMPI and plain-MPI
+Jacobi3D frontends differ in decomposition (overdecomposition vs. one block
+per rank), scheduling (suspending chares vs. spinning CPUs), communication
+protocol (host staging vs. GPUDirect vs. device IPC), kernel organisation
+(fusion strategies A/B/C, CUDA graphs) — yet they integrate the *same*
+PDE.  Because the functional kernels use a fixed operand order and the
+residual combiner is an exact ``max`` (:class:`~repro.apps.jacobi3d.context.
+ResidualHistory`), every path must produce **bitwise identical** residual
+histories and final grids.  Any drift — a halo applied twice, an iteration
+skipped, a mis-tagged message — shows up as a first differing iteration.
+
+Every case also runs with the :class:`~repro.validate.invariants.
+InvariantChecker` attached, so scheduling-level breakage is caught even
+when the physics happens to survive it.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..apps.jacobi3d import Jacobi3DConfig, run_jacobi3d
+from ..hardware.specs import MachineSpec
+
+__all__ = [
+    "CaseDiff",
+    "DifferentialReport",
+    "default_base",
+    "default_matrix",
+    "diff_histories",
+    "run_differential_matrix",
+]
+
+
+def _bits(x: float) -> bytes:
+    return struct.pack("<d", x)
+
+
+def diff_histories(a: Sequence[float], b: Sequence[float]) -> Optional[int]:
+    """Index of the first *bitwise* difference between two residual
+    histories (length mismatch counts at the shorter length); ``None`` if
+    identical.  Bitwise, not ``==``: ``0.0 == -0.0`` would hide a sign
+    drift."""
+    n = min(len(a), len(b))
+    for i in range(n):
+        if _bits(a[i]) != _bits(b[i]):
+            return i
+    if len(a) != len(b):
+        return n
+    return None
+
+
+def _grids_identical(a: np.ndarray, b: np.ndarray) -> bool:
+    if a.shape != b.shape:
+        return False
+    return bool(np.array_equal(a.view(np.int64), b.view(np.int64)))
+
+
+@dataclass(frozen=True)
+class CaseDiff:
+    """One matrix case compared against the reference run."""
+
+    label: str
+    config: Jacobi3DConfig
+    ok: bool
+    iterations: int
+    first_diff_iteration: Optional[int] = None
+    detail: str = ""
+
+    def __str__(self) -> str:
+        if self.ok:
+            return f"{self.label}: OK ({self.iterations} iterations bit-identical)"
+        where = ("" if self.first_diff_iteration is None
+                 else f" (first differing iteration: {self.first_diff_iteration})")
+        return f"{self.label}: MISMATCH{where} — {self.detail}"
+
+
+@dataclass
+class DifferentialReport:
+    """Outcome of one differential-matrix run."""
+
+    reference: str
+    cases: list[CaseDiff] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.cases)
+
+    def failures(self) -> list[CaseDiff]:
+        return [c for c in self.cases if not c.ok]
+
+    def report(self) -> str:
+        head = (f"differential matrix vs {self.reference}: "
+                f"{len(self.cases)} case(s), {len(self.failures())} failure(s)")
+        lines = "\n".join(f"  {c}" for c in self.cases)
+        return f"{head}\n{lines}"
+
+
+def default_base() -> Jacobi3DConfig:
+    """A functional-mode problem small enough to run the full matrix in
+    seconds, large enough that every block has interior cells and real
+    halo traffic on all six faces."""
+    return Jacobi3DConfig(
+        version="charm-d",
+        nodes=1,
+        grid=(16, 16, 16),
+        odf=2,
+        iterations=4,
+        warmup=1,
+        data_mode="functional",
+        machine=MachineSpec.small_debug(),
+    )
+
+
+def default_matrix(base: Jacobi3DConfig,
+                   quick: bool = False) -> list[tuple[str, Jacobi3DConfig]]:
+    """The comparison cases for ``base``.  The first entry is the
+    reference (charm-d, the paper's best version).  ``quick`` keeps only
+    the cross-runtime cases; the full matrix adds fusion A/B/C and CUDA
+    graphs on/off."""
+    base = base.with_(version="charm-d", fusion="none", cuda_graphs=False)
+    cases = [
+        ("charm-d", base),
+        ("charm-h", base.with_(version="charm-h")),
+        ("ampi-d", base.with_(version="ampi-d")),
+        ("ampi-h", base.with_(version="ampi-h")),
+        ("mpi-d", base.with_(version="mpi-d", odf=1)),
+        ("mpi-h", base.with_(version="mpi-h", odf=1)),
+    ]
+    if not quick:
+        for strategy in ("A", "B", "C"):
+            cases.append((f"charm-d fusion={strategy}",
+                          base.with_(fusion=strategy)))
+        cases.append(("charm-d graphs", base.with_(cuda_graphs=True)))
+        for strategy in ("A", "B", "C"):
+            cases.append((f"charm-d fusion={strategy} graphs",
+                          base.with_(fusion=strategy, cuda_graphs=True)))
+    return cases
+
+
+def run_differential_matrix(
+    base: Optional[Jacobi3DConfig] = None,
+    cases: Optional[list[tuple[str, Jacobi3DConfig]]] = None,
+    quick: bool = False,
+    validate: bool = True,
+    progress=None,
+) -> DifferentialReport:
+    """Run every case and compare residual histories + final grids bitwise
+    against the first case (the reference).
+
+    ``progress`` (optional): ``fn(label, case_diff_or_None)`` called before
+    (with ``None``) and after each case.
+    """
+    if base is None:
+        base = default_base()
+    if not base.functional:
+        raise ValueError("the differential matrix needs data_mode='functional'")
+    if cases is None:
+        cases = default_matrix(base, quick=quick)
+
+    report = DifferentialReport(reference=cases[0][0])
+    reference = None
+    ref_grid = None
+    for label, config in cases:
+        if progress is not None:
+            progress(label, None)
+        result = run_jacobi3d(config, validate=validate)
+        grid = result.assemble_grid(_geometry_of(config))
+        if reference is None:
+            reference = result
+            ref_grid = grid
+            diff = CaseDiff(label, config, True, len(result.residuals))
+        else:
+            diff = _compare(label, config, reference, ref_grid, result, grid)
+        report.cases.append(diff)
+        if progress is not None:
+            progress(label, diff)
+    return report
+
+
+def _geometry_of(config: Jacobi3DConfig):
+    from ..apps.decomposition import BlockGeometry
+
+    return BlockGeometry.auto(config.n_blocks(), config.grid)
+
+
+def _compare(label, config, reference, ref_grid, result, grid) -> CaseDiff:
+    n_iter = len(result.residuals)
+    where = diff_histories(reference.residuals, result.residuals)
+    if len(reference.residuals) != n_iter:
+        return CaseDiff(
+            label, config, False, n_iter, first_diff_iteration=where,
+            detail=(f"iteration count {n_iter} != "
+                    f"reference {len(reference.residuals)}"),
+        )
+    if where is not None:
+        return CaseDiff(
+            label, config, False, n_iter, first_diff_iteration=where,
+            detail=(f"residual {result.residuals[where]!r} != "
+                    f"reference {reference.residuals[where]!r}"),
+        )
+    if not _grids_identical(ref_grid, grid):
+        if ref_grid.shape != grid.shape:
+            detail = f"grid shape {grid.shape} != reference {ref_grid.shape}"
+        else:
+            mism = int(np.sum(ref_grid.view(np.int64) != grid.view(np.int64)))
+            detail = f"final grid differs in {mism} cell(s)"
+        return CaseDiff(label, config, False, n_iter, detail=detail)
+    return CaseDiff(label, config, True, n_iter)

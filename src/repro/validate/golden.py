@@ -1,0 +1,184 @@
+"""Golden-trace regression store.
+
+A canonical set of small configurations is pinned to *trace digests*
+(sha256 over the canonical JSON form of every trace record) plus a result
+summary, stored as one JSON file per config under ``tests/golden/``.  The
+simulator is deterministic, so a digest change means the schedule itself
+changed — the strongest regression signal available short of diffing whole
+traces.  When a change is intentional (a new optimisation, a model-version
+bump), refresh with ``repro validate --update-golden``.
+
+Golden entries record the :data:`~repro.exec.cache.MODEL_VERSION` they were
+taken at; entries from another model version are reported as stale rather
+than failed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Optional
+
+from ..apps.jacobi3d import Jacobi3DConfig, run_jacobi3d
+from ..exec.cache import MODEL_VERSION, config_key
+from ..hardware.specs import MachineSpec
+from ..sim import Tracer
+
+__all__ = [
+    "CANONICAL_CONFIGS",
+    "GoldenStore",
+    "default_golden_dir",
+    "golden_entry",
+    "golden_worker",
+    "trace_digest",
+]
+
+
+def default_golden_dir() -> Path:
+    """``tests/golden`` at the repository root."""
+    return Path(__file__).resolve().parents[3] / "tests" / "golden"
+
+
+def _small() -> MachineSpec:
+    return MachineSpec.small_debug()
+
+
+def _canonical() -> dict[str, Jacobi3DConfig]:
+    base = Jacobi3DConfig(
+        nodes=1, grid=(48, 48, 48), odf=2, iterations=4, warmup=1,
+        machine=_small(),
+    )
+    return {
+        "charm-d": base.with_(version="charm-d"),
+        "charm-h": base.with_(version="charm-h"),
+        "ampi-d": base.with_(version="ampi-d"),
+        "mpi-d": base.with_(version="mpi-d", odf=1),
+        "mpi-h": base.with_(version="mpi-h", odf=1),
+        "charm-d-fusion-b": base.with_(version="charm-d", fusion="B"),
+        "charm-d-graphs": base.with_(version="charm-d", cuda_graphs=True),
+        "charm-d-legacy": base.with_(version="charm-d", legacy_sync=True),
+    }
+
+
+#: name -> config pinned under ``tests/golden/<name>.json``.
+CANONICAL_CONFIGS = _canonical()
+
+
+def trace_digest(tracer: Tracer) -> str:
+    """sha256 over the canonical JSON form of every trace record.  All
+    payloads are numbers, strings and tuples (tuples serialize as JSON
+    arrays; anything exotic goes through ``repr``, which is stable for the
+    enums the simulator traces), so the digest is identical across
+    processes and platforms."""
+    payload = [
+        [rec.time, rec.category, rec.actor,
+         {k: rec.data[k] for k in sorted(rec.data)}]
+        for rec in tracer.records
+    ]
+    blob = json.dumps(payload, sort_keys=True, default=repr,
+                      separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def golden_entry(config: Jacobi3DConfig) -> dict:
+    """Run ``config`` fully traced + invariant-checked and distil the
+    golden record (JSON-ready)."""
+    tracer = Tracer()
+    result = run_jacobi3d(config, tracer=tracer, validate=True)
+    return {
+        "key": config_key(config),
+        "model_version": MODEL_VERSION,
+        "config": config.to_dict(),
+        "trace_digest": trace_digest(tracer),
+        "trace_records": len(tracer.records),
+        "summary": {
+            "total_time": result.total_time,
+            "warmup_boundary": result.warmup_boundary,
+            "time_per_iteration": result.time_per_iteration,
+            "gpu_busy_s": result.gpu_busy_s,
+            "pe_busy_s": result.pe_busy_s,
+            "messages_sent": result.messages_sent,
+            "bytes_sent": result.bytes_sent,
+            "overlap_s": result.overlap_s,
+        },
+    }
+
+
+def golden_worker(config_dict: dict) -> dict:
+    """:func:`golden_entry` from a plain config dict — module-level so the
+    exec layer's process pool can pickle it (the determinism tests run the
+    same golden configs serially and with ``jobs=4`` and require identical
+    digests)."""
+    return golden_entry(Jacobi3DConfig.from_dict(config_dict))
+
+
+class GoldenStore:
+    """One directory of ``<name>.json`` golden entries."""
+
+    def __init__(self, root=None):
+        self.root = Path(root) if root is not None else default_golden_dir()
+
+    def path_for(self, name: str) -> Path:
+        return self.root / f"{name}.json"
+
+    def names(self) -> list[str]:
+        if not self.root.is_dir():
+            return []
+        return sorted(p.stem for p in self.root.glob("*.json"))
+
+    def load(self, name: str) -> Optional[dict]:
+        try:
+            return json.loads(self.path_for(name).read_text())
+        except (OSError, ValueError):
+            return None
+
+    def save(self, name: str, entry: dict) -> Path:
+        path = self.path_for(name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(entry, indent=2, sort_keys=True) + "\n")
+        return path
+
+    def check(self, name: str, entry: dict) -> list[str]:
+        """Mismatches between ``entry`` (a fresh :func:`golden_entry`) and
+        the stored golden record; empty list means clean.  A missing entry
+        or one taken at another MODEL_VERSION reports as stale, not as a
+        schedule regression."""
+        stored = self.load(name)
+        if stored is None:
+            return [f"{name}: no golden entry (run --update-golden)"]
+        if stored.get("model_version") != entry["model_version"]:
+            return [
+                f"{name}: golden entry is for MODEL_VERSION "
+                f"{stored.get('model_version')}, current is "
+                f"{entry['model_version']} (run --update-golden)"
+            ]
+        problems = []
+        if stored.get("key") != entry["key"]:
+            problems.append(f"{name}: config key changed "
+                            f"{stored.get('key')} -> {entry['key']}")
+        if stored.get("trace_digest") != entry["trace_digest"]:
+            problems.append(
+                f"{name}: trace digest changed "
+                f"({stored.get('trace_records')} -> {entry['trace_records']} "
+                "records) — the event schedule is different"
+            )
+        for field, want in (stored.get("summary") or {}).items():
+            got = entry["summary"].get(field)
+            if got != want:
+                problems.append(f"{name}: summary.{field} {want!r} -> {got!r}")
+        return problems
+
+    def check_all(self, configs: Optional[dict] = None) -> list[str]:
+        """Re-run every canonical config and collect mismatches."""
+        problems = []
+        for name, config in (configs or CANONICAL_CONFIGS).items():
+            problems.extend(self.check(name, golden_entry(config)))
+        return problems
+
+    def update_all(self, configs: Optional[dict] = None) -> list[Path]:
+        """Refresh (or create) every canonical entry."""
+        return [
+            self.save(name, golden_entry(config))
+            for name, config in (configs or CANONICAL_CONFIGS).items()
+        ]

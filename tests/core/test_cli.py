@@ -62,3 +62,30 @@ def test_unknown_figure_rejected():
 def test_missing_command_rejected():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_run_ampi_version_with_validate(capsys):
+    rc = main(["run", "--version", "ampi-d", "--grid", "96", "96", "96",
+               "--odf", "2", "--iterations", "3", "--validate"])
+    assert rc == 0
+    assert "ampi-d" in capsys.readouterr().out
+
+
+def test_validate_quick_exits_zero(capsys):
+    rc = main(["validate", "--quick", "--quiet"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "differential matrix vs charm-d" in out
+    assert "0 failure(s)" in out
+    # quick mode: cross-runtime cases only, golden store untouched
+    assert "ampi-d" in out and "mpi-h" in out
+    assert "golden store" not in out
+
+
+def test_validate_update_golden_roundtrip(tmp_path, capsys):
+    rc = main(["validate", "--quick", "--quiet", "--update-golden",
+               "--golden-dir", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "refreshed 8 entries" in out
+    assert len(list(tmp_path.glob("*.json"))) == 8

@@ -1,0 +1,127 @@
+"""Scheduler/transport edge cases: zero-byte messages, self-sends, two
+chares sharing a PE, and Engine.run(max_events=0)."""
+
+import pytest
+
+from repro.comm import UcxContext
+from repro.hardware import Cluster, KiB, MachineSpec
+from repro.mpi import MpiProcess, MpiWorld
+from repro.runtime import Chare, CharmRuntime
+from repro.sim import Engine, SimulationError
+
+
+def make_ctx(n_nodes=1):
+    eng = Engine()
+    cluster = Cluster(eng, MachineSpec.small_debug(), n_nodes)
+    return eng, cluster, UcxContext(cluster)
+
+
+# ---------------------------------------------------------------------------
+# Zero-byte messages
+# ---------------------------------------------------------------------------
+
+
+def test_zero_byte_message_completes():
+    eng, cluster, ucx = make_ctx()
+    s = ucx.isend(0, 1, 0, tag="empty")
+    r = ucx.irecv(0, 1, 0, tag="empty")
+    eng.run()
+    assert s.done.processed and r.done.processed
+    assert ucx.pending_counts() == (0, 0)
+
+
+def test_zero_byte_device_message_completes():
+    eng, cluster, ucx = make_ctx()
+    s = ucx.isend(0, 1, 0, tag="empty", on_device=True)
+    r = ucx.irecv(0, 1, 0, tag="empty", on_device=True)
+    eng.run()
+    assert s.done.processed and r.done.processed
+
+
+# ---------------------------------------------------------------------------
+# Self-sends (src == dst)
+# ---------------------------------------------------------------------------
+
+
+def test_ucx_self_send_matches():
+    eng, cluster, ucx = make_ctx()
+    s = ucx.isend(0, 0, 256, tag="self")
+    r = ucx.irecv(0, 0, 256, tag="self", )
+    eng.run()
+    assert s.done.processed and r.done.processed
+    assert ucx.pending_counts() == (0, 0)
+
+
+class SelfSender(MpiProcess):
+    seen = {}
+
+    def main(self, msg=None):
+        rr = yield self.irecv(self.rank, 64, tag="loop")
+        rs = yield self.isend(self.rank, 64, tag="loop", payload=self.rank * 10)
+        yield self.waitall([rr, rs])
+        SelfSender.seen[self.rank] = rr.data
+
+
+def test_mpi_rank_self_send_does_not_deadlock():
+    eng = Engine()
+    cluster = Cluster(eng, MachineSpec.small_debug(), 1)
+    world = MpiWorld(cluster)
+    SelfSender.seen = {}
+    world.launch(SelfSender)
+    world.run()
+    assert SelfSender.seen == {r: r * 10 for r in range(world.size)}
+
+
+# ---------------------------------------------------------------------------
+# Two chares exchanging on the same PE
+# ---------------------------------------------------------------------------
+
+
+class SamePePair(Chare):
+    done = {}
+
+    def run(self, msg):
+        other = (1 - self.index[0],)
+        ch = self.channel_to(other)
+        ch.send(32 * KiB, ref=("s", 0))
+        ch.recv(32 * KiB, ref=("r", 0))
+        yield self.when("ch_recv", ref=("r", 0))
+        yield self.when("ch_send", ref=("s", 0))
+        SamePePair.done[self.index] = self.runtime.engine.now
+
+
+def test_two_chares_exchange_on_same_pe():
+    eng = Engine()
+    cluster = Cluster(eng, MachineSpec.small_debug(), 1)
+    rt = CharmRuntime(cluster)
+    SamePePair.done = {}
+    arr = rt.create_array(SamePePair, shape=(2,), mapping={(0,): 0, (1,): 0})
+    arr.broadcast("run")
+    rt.run()
+    assert set(SamePePair.done) == {(0,), (1,)}
+    assert rt.ucx.pending_counts() == (0, 0)
+
+
+# ---------------------------------------------------------------------------
+# Engine.run(max_events=0)
+# ---------------------------------------------------------------------------
+
+
+def test_run_max_events_zero_on_empty_heap_is_noop():
+    eng = Engine()
+    eng.run(max_events=0)
+    assert eng.now == 0.0
+
+
+def test_run_max_events_zero_with_pending_events_raises():
+    eng = Engine()
+    eng.timeout(1.0)
+    with pytest.raises(SimulationError, match="max_events=0"):
+        eng.run(max_events=0)
+
+
+def test_run_max_events_exact_count_does_not_raise():
+    eng = Engine()
+    eng.timeout(1.0)  # exactly one event to process
+    eng.run(max_events=1)
+    assert eng.now == 1.0

@@ -1,0 +1,96 @@
+"""Edge cases for trace export and overlap accounting: empty traces,
+adjacent-but-not-overlapping intervals, and the Chrome-trace schema."""
+
+import json
+
+from repro.sim import Engine, Tracer, overlap_seconds, to_chrome_trace
+from repro.sim.tracing import merge_intervals
+
+
+# ---------------------------------------------------------------------------
+# overlap_seconds
+# ---------------------------------------------------------------------------
+
+
+def test_overlap_empty_sets():
+    assert overlap_seconds([], []) == 0.0
+    assert overlap_seconds([(0.0, 1.0)], []) == 0.0
+    assert overlap_seconds([], [(0.0, 1.0)]) == 0.0
+
+
+def test_overlap_adjacent_intervals_is_zero():
+    # Touching endpoints share no open time: strictly zero, not epsilon.
+    assert overlap_seconds([(0.0, 1.0)], [(1.0, 2.0)]) == 0.0
+    assert overlap_seconds([(1.0, 2.0)], [(0.0, 1.0)]) == 0.0
+
+
+def test_overlap_partial_and_nested():
+    assert overlap_seconds([(0.0, 2.0)], [(1.0, 3.0)]) == 1.0
+    assert overlap_seconds([(0.0, 10.0)], [(2.0, 3.0), (5.0, 6.0)]) == 2.0
+
+
+def test_overlap_ignores_degenerate_spans():
+    # Zero-width spans contribute nothing on either side.
+    assert overlap_seconds([(1.0, 1.0)], [(0.0, 2.0)]) == 0.0
+
+
+def test_merge_intervals_adjacent_join():
+    assert merge_intervals([(0.0, 1.0), (1.0, 2.0)]) == [(0.0, 2.0)]
+    assert merge_intervals([]) == []
+
+
+# ---------------------------------------------------------------------------
+# to_chrome_trace
+# ---------------------------------------------------------------------------
+
+
+def test_chrome_trace_empty():
+    tracer = Tracer().attach(Engine())
+    assert to_chrome_trace(tracer) == []
+
+
+def test_chrome_trace_complete_event_schema():
+    eng = Engine()
+    tracer = Tracer().attach(eng)
+
+    def proc():
+        yield eng.timeout(2e-6)
+        tracer.emit("gpu.compute", "node0.gpu1", op="update", duration=3e-6)
+
+    eng.process(proc())
+    eng.run()
+    (ev,) = to_chrome_trace(tracer)
+    assert ev["ph"] == "X"
+    assert ev["name"] == "update"
+    assert ev["cat"] == "gpu.compute"
+    assert ev["pid"] == "node0"          # pid groups by component prefix
+    assert ev["tid"] == "node0.gpu1"
+    assert ev["ts"] == 2e-6 * 1e6        # microseconds, as the format requires
+    assert ev["dur"] == 3e-6 * 1e6
+    assert "s" not in ev                 # instant-only field
+
+
+def test_chrome_trace_instant_event_schema():
+    tracer = Tracer().attach(Engine())
+    tracer.emit("sched.message", "pe3", kind="exec")
+    (ev,) = to_chrome_trace(tracer)
+    assert ev["ph"] == "i"
+    assert ev["s"] == "t"
+    assert "dur" not in ev
+    assert ev["pid"] == "pe3"            # no dot: actor is its own group
+
+
+def test_chrome_trace_args_keep_scalars_only():
+    tracer = Tracer().attach(Engine())
+    tracer.emit("net.send", "pe0", size=4096, dst=1, tag=(0, "x"), note="hi")
+    (ev,) = to_chrome_trace(tracer)
+    assert ev["args"] == {"size": 4096, "dst": 1, "note": "hi"}  # tuple dropped
+
+
+def test_chrome_trace_is_json_serializable():
+    eng = Engine()
+    tracer = Tracer().attach(eng)
+    tracer.emit("gpu.compute", "node0.gpu0", op="k", duration=1e-6)
+    tracer.emit("sched.message", "pe0")
+    text = json.dumps(to_chrome_trace(tracer))
+    assert json.loads(text)[0]["ph"] == "X"
