@@ -1,0 +1,46 @@
+"""Lint wall-clock over the shipped tree.
+
+Not a paper figure: this pins the cost of the static-analysis gate so a
+rule that regresses from linear AST walking to something quadratic shows
+up in ``results/bench_meta.json`` next to the figure timings.  The run
+doubles as a self-host check — the tree must come back clean.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from conftest import BENCH_META_PATH, RESULTS_DIR
+
+import repro
+from repro.lint import run_lint
+
+REPO_ROOT = Path(repro.__file__).resolve().parents[2]
+
+
+def test_lint_wall_clock(benchmark):
+    paths = [p for p in (REPO_ROOT / d for d in
+                         ("src", "tests", "benchmarks", "examples", "scripts"))
+             if p.is_dir()]
+    t0 = time.perf_counter()
+    report = benchmark.pedantic(lambda: run_lint(paths), rounds=1, iterations=1)
+    wall_s = time.perf_counter() - t0
+
+    assert report.findings == [], "shipped tree must lint clean"
+    assert report.files > 100
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    meta = {}
+    try:
+        meta = json.loads(BENCH_META_PATH.read_text())
+    except (OSError, ValueError):
+        pass
+    meta["lint"] = {
+        "files": report.files,
+        "findings": len(report.findings),
+        "suppressed": report.suppressed,
+        "wall_s": round(wall_s, 6),
+    }
+    BENCH_META_PATH.write_text(json.dumps(meta, indent=2, sort_keys=True))
+    print(f"\n[lint] {report.files} files clean in {wall_s:.3f}s "
+          f"({report.suppressed} suppressed)")

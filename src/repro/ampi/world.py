@@ -51,7 +51,7 @@ class AmpiProcess:
 
     def main(self, msg=None):  # pragma: no cover - must be overridden
         raise NotImplementedError
-        yield
+        yield  # repro-lint: disable=RPL003 -- unreachable generator-marker idiom
 
     @property
     def size(self) -> int:

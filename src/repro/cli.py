@@ -23,6 +23,10 @@ results are bit-identical to serial uncached runs either way.
     physics) with the invariant checker attached, plus the golden-trace
     regression store under ``tests/golden`` (refresh with
     ``--update-golden``).
+``lint``
+    Static analysis (docs/linting.md): the SDAG protocol / message-flow /
+    determinism linter over the chare DSL.  ``--strict`` exits nonzero on
+    findings (the CI configuration is ``repro lint --strict src tests``).
 """
 
 from __future__ import annotations
@@ -119,6 +123,20 @@ def _build_parser() -> argparse.ArgumentParser:
     val_p.add_argument("--golden-dir", metavar="DIR", default=None,
                        help="golden store location (default tests/golden)")
     val_p.add_argument("--quiet", action="store_true", help="no per-case progress")
+
+    lint_p = sub.add_parser(
+        "lint", help="SDAG protocol & determinism linter (docs/linting.md)")
+    lint_p.add_argument("paths", nargs="*", default=["src"], metavar="PATH",
+                        help="files/directories to lint (default: src)")
+    lint_p.add_argument("--format", choices=["text", "json"], default="text",
+                        help="output format (default text)")
+    lint_p.add_argument("--strict", action="store_true",
+                        help="exit nonzero if any finding survives suppression")
+    lint_p.add_argument("--no-messageflow", action="store_true",
+                        help="skip the cross-file message-flow rules "
+                             "(RPL010/RPL011)")
+    lint_p.add_argument("--rules", action="store_true",
+                        help="print the rule catalogue and exit")
     return parser
 
 
@@ -242,6 +260,26 @@ def _cmd_validate(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_lint(args) -> int:
+    # Imported here: the linter is stdlib-only and independent of the
+    # simulation stack, mirroring the validate subcommand's lazy import.
+    from pathlib import Path
+
+    from .lint import LintConfig, render_json, render_text, rules_catalogue, run_lint
+
+    if args.rules:
+        print(rules_catalogue())
+        return 0
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"repro lint: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+    report = run_lint(args.paths,
+                      LintConfig(messageflow=not args.no_messageflow))
+    print(render_json(report) if args.format == "json" else render_text(report))
+    return 1 if (args.strict and report.findings) else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -250,6 +288,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "protocols": _cmd_protocols,
         "validate": _cmd_validate,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

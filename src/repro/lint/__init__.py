@@ -1,0 +1,44 @@
+"""``repro.lint``: AST-based SDAG-protocol & determinism linter.
+
+The static counterpart of the runtime validation layer
+(docs/validation.md): where the :class:`~repro.validate.InvariantChecker`
+audits a *running* simulation, the linter proves protocol and determinism
+properties of the *source* — before anything runs.  Three rule families
+with stable ``RPL0xx`` codes (catalogue: docs/linting.md):
+
+* **SDAG protocol** (RPL001-RPL004): command factories never yielded,
+  generator helpers called without ``yield from``, non-Command yields,
+  suspend-only APIs in plain entry methods;
+* **message flow** (RPL010-RPL011): cross-file matching of ``send``
+  deposits against entry methods and ``when`` consumers;
+* **determinism** (RPL020-RPL023): wall-clock, unseeded RNG, OS entropy
+  and unordered-set iteration inside the simulation model packages.
+
+Entry points: ``python -m repro lint [--strict] [--format json] PATH...``
+or :func:`run_lint` from code.  Stdlib-only (``ast`` + ``tokenize``).
+"""
+
+from .engine import (
+    DEFAULT_MAILBOX_ALLOWLIST,
+    LintConfig,
+    LintEngine,
+    LintReport,
+    run_lint,
+)
+from .reporting import JSON_SCHEMA_VERSION, render_json, render_text, rules_catalogue
+from .rules import RULES, Finding, Rule
+
+__all__ = [
+    "DEFAULT_MAILBOX_ALLOWLIST",
+    "Finding",
+    "JSON_SCHEMA_VERSION",
+    "LintConfig",
+    "LintEngine",
+    "LintReport",
+    "RULES",
+    "Rule",
+    "render_json",
+    "render_text",
+    "rules_catalogue",
+    "run_lint",
+]

@@ -1,0 +1,64 @@
+"""Text and JSON rendering of lint reports."""
+
+from __future__ import annotations
+
+import json
+
+from .engine import LintReport
+from .rules import RULES
+
+__all__ = ["render_text", "render_json", "rules_catalogue", "JSON_SCHEMA_VERSION"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(report: LintReport) -> str:
+    lines = [f.render() for f in report.findings]
+    if report.findings:
+        per_code = ", ".join(
+            f"{code} x{count}" for code, count in sorted(report.counts.items())
+        )
+        lines.append("")
+        lines.append(
+            f"{len(report.findings)} finding(s) [{per_code}] in "
+            f"{report.files} file(s), {report.suppressed} suppressed"
+        )
+    else:
+        lines.append(
+            f"clean: 0 findings in {report.files} file(s), "
+            f"{report.suppressed} suppressed"
+        )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "files": report.files,
+        "suppressed": report.suppressed,
+        "counts": dict(sorted(report.counts.items())),
+        "findings": [
+            {
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "code": f.code,
+                "rule": RULES[f.code].name if f.code in RULES else f.code,
+                "message": f.message,
+            }
+            for f in report.findings
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def rules_catalogue() -> str:
+    """The rule table printed by ``repro lint --rules``."""
+    lines = ["code    name                        summary",
+             "------  --------------------------  " + "-" * 44]
+    for rule in RULES.values():
+        lines.append(f"{rule.code}  {rule.name:26s}  {rule.summary}")
+    lines.append("")
+    lines.append("suppress per line with:  # repro-lint: disable=CODE[,CODE] -- why")
+    lines.append("full catalogue with rationale: docs/linting.md")
+    return "\n".join(lines)

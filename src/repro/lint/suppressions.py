@@ -1,0 +1,57 @@
+"""Per-line lint suppressions.
+
+A finding reported on line *L* is silenced when line *L* carries a comment
+of the form::
+
+    risky_call()  # repro-lint: disable=RPL003
+    other_call()  # repro-lint: disable=RPL010,RPL011 -- deliberate deadlock test
+    anything()    # repro-lint: disable=all
+
+Everything after the code list is free-form justification text (encouraged:
+a suppression without a *why* is a lie waiting to rot).  Codes are
+case-insensitive.  Suppressions are strictly per-physical-line — put the
+comment on the line the finding is reported at (the statement's first
+line).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+__all__ = ["ALL", "parse_suppressions", "is_suppressed"]
+
+ALL = "ALL"
+
+_DIRECTIVE = re.compile(
+    r"repro-lint:\s*disable\s*=\s*([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+
+def parse_suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Map line number -> set of suppressed codes (``{"ALL"}`` for blanket)."""
+    out: dict[int, frozenset[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _DIRECTIVE.search(tok.string)
+            if not match:
+                continue
+            codes = frozenset(
+                code.strip().upper() for code in match.group(1).split(",")
+            )
+            out[tok.start[0]] = out.get(tok.start[0], frozenset()) | codes
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # An unparsable file is reported as RPL000 by the engine; comments
+        # scanned up to the error point still count.
+        pass
+    return out
+
+
+def is_suppressed(suppressions: dict[int, frozenset[str]], line: int,
+                  code: str) -> bool:
+    codes = suppressions.get(line)
+    return codes is not None and (code.upper() in codes or ALL in codes)

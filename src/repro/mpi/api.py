@@ -100,7 +100,7 @@ class MpiProcess:
 
     def main(self, msg=None):  # pragma: no cover - must be overridden
         raise NotImplementedError
-        yield  # noqa: unreachable - marks this as a generator function
+        yield  # repro-lint: disable=RPL003 -- unreachable generator-marker idiom
 
     @property
     def size(self) -> int:

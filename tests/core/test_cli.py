@@ -1,10 +1,14 @@
 """Tests for the command-line interface."""
 
 import json
+from pathlib import Path
 
 import pytest
 
+import repro
 from repro.cli import main
+
+LINT_FIXTURES = Path(__file__).resolve().parents[1] / "lint" / "fixtures"
 
 
 def test_run_command_prints_metrics(capsys):
@@ -89,3 +93,62 @@ def test_validate_update_golden_roundtrip(tmp_path, capsys):
     assert rc == 0
     assert "refreshed 8 entries" in out
     assert len(list(tmp_path.glob("*.json"))) == 8
+
+
+def test_lint_strict_clean_on_shipped_tree(capsys):
+    src = Path(repro.__file__).resolve().parent
+    rc = main(["lint", "--strict", str(src)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "clean: 0 findings" in out
+
+
+def test_lint_nonstrict_reports_but_exits_zero(capsys):
+    rc = main(["lint", str(LINT_FIXTURES / "rpl001_unyielded_command.py")])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "RPL001" in out
+
+
+def test_lint_strict_fails_on_violation(capsys):
+    rc = main(["lint", "--strict",
+               str(LINT_FIXTURES / "rpl001_unyielded_command.py")])
+    assert rc == 1
+    assert "RPL001" in capsys.readouterr().out
+
+
+def test_lint_json_schema(capsys):
+    rc = main(["lint", "--format", "json",
+               str(LINT_FIXTURES / "rpl001_unyielded_command.py")])
+    assert rc == 0
+    data = json.loads(capsys.readouterr().out)
+    assert set(data) == {"version", "files", "suppressed", "counts", "findings"}
+    assert data["version"] == 1
+    assert data["files"] == 1
+    assert data["counts"] == {"RPL001": 2}
+    for finding in data["findings"]:
+        assert set(finding) == {"path", "line", "col", "code", "rule", "message"}
+    assert data["findings"][0]["rule"] == "unyielded-command"
+
+
+def test_lint_rules_listing(capsys):
+    rc = main(["lint", "--rules"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    for code in ("RPL001", "RPL004", "RPL010", "RPL011", "RPL020", "RPL023"):
+        assert code in out
+    assert "repro-lint: disable=" in out
+
+
+def test_lint_missing_path_exits_two(capsys):
+    rc = main(["lint", "no/such/path.py"])
+    assert rc == 2
+    assert "no/such/path.py" in capsys.readouterr().err
+
+
+def test_lint_no_messageflow_flag(capsys):
+    rc = main(["lint", "--strict", "--no-messageflow",
+               str(LINT_FIXTURES / "rpl011_when_without_sender.py")])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "clean" in out

@@ -1,0 +1,12 @@
+"""Negative fixture: determinism-clean model code (seeded RNG, ordered sets)."""
+import numpy as np
+
+
+def draws(seed, values):
+    rng = np.random.default_rng(seed)
+    jitter = rng.uniform(0.0, 1e-9)
+    ordered = sorted(set(values))
+    total = 0.0
+    for v in ordered:
+        total += v
+    return jitter, total

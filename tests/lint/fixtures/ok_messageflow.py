@@ -1,0 +1,20 @@
+"""Negative fixture: every deposit has a consumer and vice versa."""
+from repro.runtime import Chare
+
+
+class Left(Chare):
+    def run(self, msg):
+        ch = self.channel_to((1,))
+        ch.send(1024, ref=0)
+        yield self.when("ch_send", ref=0)
+        self.gpu_send((1,), "halo", size=1024, ref=0)
+        yield self.when("ack", ref=0)
+
+
+class Right(Chare):
+    def run(self, msg):
+        ch = self.channel_to((0,))
+        ch.recv(1024, ref=0)
+        yield self.when("ch_recv", ref=0)
+        yield self.when("halo", ref=0)
+        self.send((0,), "ack", ref=0)

@@ -1,0 +1,17 @@
+"""Negative fixture: protocol-clean chare code — zero findings expected."""
+from repro.runtime import Chare
+
+
+class Block(Chare):
+    def _halo_phase(self, it):
+        self.send((1,), "halo", ref=it, data_bytes=8)
+        m = yield self.when("halo", ref=it)
+        return m
+
+    def run(self, msg):
+        for it in range(2):
+            yield self.work(1e-6)
+            yield from self._halo_phase(it)
+
+    def status(self, msg):
+        return self.index

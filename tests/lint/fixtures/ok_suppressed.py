@@ -1,0 +1,8 @@
+"""Negative fixture: violations present but suppressed with justification."""
+from repro.runtime import Chare
+
+
+class Block(Chare):
+    def run(self, msg):
+        yield 42  # repro-lint: disable=RPL003 -- demonstrates the suppression machinery
+        yield self.when("ghost")  # repro-lint: disable=RPL011 -- demonstrates the suppression machinery

@@ -1,0 +1,11 @@
+"""Positive fixture: command-factory results discarded (RPL001)."""
+from repro.runtime import Chare
+
+
+class Block(Chare):
+    def run(self, msg):
+        self.work(1e-6)  # EXPECT: RPL001
+        self.when("halo", ref=0)  # EXPECT: RPL001
+        m = yield self.when("halo", ref=1)
+        self.send((0,), "halo", data_bytes=8)
+        return m

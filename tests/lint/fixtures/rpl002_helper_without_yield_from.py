@@ -1,0 +1,15 @@
+"""Positive fixture: generator helpers invoked as plain calls (RPL002)."""
+from repro.runtime import Chare
+
+
+class Block(Chare):
+    def _halo_phase(self):
+        yield self.work(1e-6)
+
+    def run(self, msg):
+        self._halo_phase()  # EXPECT: RPL002
+        yield self._halo_phase()  # EXPECT: RPL002
+        yield from self._halo_phase()
+
+    def on_ping(self, msg):
+        self._halo_phase()  # EXPECT: RPL002

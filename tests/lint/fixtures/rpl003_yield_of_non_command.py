@@ -1,0 +1,10 @@
+"""Positive fixture: yields of values that cannot be Commands (RPL003)."""
+from repro.runtime import Chare
+
+
+class Block(Chare):
+    def run(self, msg):
+        yield 42  # EXPECT: RPL003
+        yield (1e-6, "work")  # EXPECT: RPL003
+        yield  # EXPECT: RPL003
+        yield self.work(1e-6)

@@ -1,0 +1,10 @@
+"""Positive fixture: suspend-only APIs in a plain entry method (RPL004)."""
+from repro.runtime import Chare
+
+
+class Block(Chare):
+    def on_halo(self, msg):
+        self.wait(msg.payload)  # EXPECT: RPL004
+        got = self.when("more")  # EXPECT: RPL004
+        self.send((0,), "more", data_bytes=8)
+        return got

@@ -1,0 +1,8 @@
+"""Positive fixture: a send deposit nobody consumes (RPL010)."""
+from repro.runtime import Chare
+
+
+class Block(Chare):
+    def run(self, msg):
+        self.send((1,), "orphan", data_bytes=8)  # EXPECT: RPL010
+        yield self.work(1e-6)

@@ -1,0 +1,7 @@
+"""Positive fixture: a when() mailbox nobody ever fills (RPL011)."""
+from repro.runtime import Chare
+
+
+class Block(Chare):
+    def run(self, msg):
+        yield self.when("ghost", ref=0)  # EXPECT: RPL011

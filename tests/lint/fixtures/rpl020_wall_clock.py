@@ -1,0 +1,10 @@
+"""Positive fixture: wall-clock reads in model code (RPL020)."""
+import time
+from datetime import datetime
+
+
+def stamp():
+    t0 = time.perf_counter()  # EXPECT: RPL020
+    t1 = time.time()  # EXPECT: RPL020
+    now = datetime.now()  # EXPECT: RPL020
+    return t0, t1, now

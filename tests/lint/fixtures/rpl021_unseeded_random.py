@@ -1,0 +1,12 @@
+"""Positive fixture: global / unseeded RNG (RPL021)."""
+import random
+
+import numpy as np
+
+
+def jitter():
+    a = random.random()  # EXPECT: RPL021
+    rng = np.random.default_rng()  # EXPECT: RPL021
+    b = np.random.rand()  # EXPECT: RPL021
+    c = random.Random()  # EXPECT: RPL021
+    return a, rng, b, c

@@ -1,0 +1,9 @@
+"""Positive fixture: OS entropy sources (RPL022)."""
+import os
+import uuid
+
+
+def token():
+    raw = os.urandom(8)  # EXPECT: RPL022
+    tag = uuid.uuid4()  # EXPECT: RPL022
+    return raw, tag

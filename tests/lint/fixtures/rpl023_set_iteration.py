@@ -1,0 +1,13 @@
+"""Positive fixture: iteration over unordered sets (RPL023)."""
+
+
+def total(edges):
+    pending = {2, 3, 5}
+    acc = 0
+    for x in pending:  # EXPECT: RPL023
+        acc += x
+    for y in set(edges):  # EXPECT: RPL023
+        acc += y
+    doubled = [2 * z for z in {1, 2}]  # EXPECT: RPL023
+    order = list({1, 2})  # EXPECT: RPL023
+    return acc, order, doubled

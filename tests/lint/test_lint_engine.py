@@ -1,0 +1,142 @@
+"""Unit tests for the lint engine internals: suppression parsing, file
+collection, config knobs, parse-error handling, and rendering."""
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint import (
+    DEFAULT_MAILBOX_ALLOWLIST,
+    JSON_SCHEMA_VERSION,
+    LintConfig,
+    render_json,
+    render_text,
+    run_lint,
+)
+from repro.lint.suppressions import is_suppressed, parse_suppressions
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+CHARE_PREAMBLE = "from repro.runtime import Chare\n\n\nclass B(Chare):\n"
+
+
+def _lint_source(tmp_path, source, **cfg):
+    path = tmp_path / "mod.py"
+    path.write_text(source)
+    return run_lint([path], LintConfig(determinism_parts=None, **cfg))
+
+
+# ---------------------------------------------------------------------------
+# suppression parsing
+
+
+def test_parse_suppressions_single_and_multi_code():
+    src = (
+        "x = 1  # repro-lint: disable=RPL001\n"
+        "y = 2  # repro-lint: disable=RPL010, RPL011 -- justification text\n"
+        "z = 3  # unrelated comment\n"
+    )
+    sup = parse_suppressions(src)
+    assert sup[1] == frozenset({"RPL001"})
+    assert sup[2] == frozenset({"RPL010", "RPL011"})
+    assert 3 not in sup
+
+
+def test_parse_suppressions_all_and_case():
+    sup = parse_suppressions("x = 1  # repro-lint: disable=all\n")
+    assert is_suppressed(sup, 1, "RPL999")
+    assert not is_suppressed(sup, 2, "RPL999")
+
+
+def test_is_suppressed_is_case_insensitive():
+    sup = parse_suppressions("x = 1  # repro-lint: disable=rpl003\n")
+    assert is_suppressed(sup, 1, "RPL003")
+
+
+def test_parse_suppressions_tolerates_broken_source():
+    assert parse_suppressions("def broken(:\n") == {}
+
+
+# ---------------------------------------------------------------------------
+# engine behaviour
+
+
+def test_parse_error_yields_rpl000(tmp_path):
+    report = _lint_source(tmp_path, "def broken(:\n")
+    assert [f.code for f in report.findings] == ["RPL000"]
+    assert not report.ok
+
+
+def test_directory_walk_skips_fixture_dirs(tmp_path):
+    bad = tmp_path / "fixtures"
+    bad.mkdir()
+    (bad / "seeded.py").write_text("import time\nt = time.time()\n")
+    (tmp_path / "clean.py").write_text("x = 1\n")
+    report = run_lint([tmp_path], LintConfig(determinism_parts=None))
+    assert report.files == 1
+    assert report.findings == []
+
+
+def test_explicit_file_bypasses_exclusion():
+    report = run_lint(
+        [FIXTURES / "rpl020_wall_clock.py"], LintConfig(determinism_parts=None)
+    )
+    assert {f.code for f in report.findings} == {"RPL020"}
+
+
+def test_messageflow_can_be_disabled(tmp_path):
+    src = CHARE_PREAMBLE + (
+        "    def run(self, msg):\n"
+        "        self.send((1,), 'orphan', data_bytes=8)\n"
+        "        yield self.when('ghost')\n"
+    )
+    on = _lint_source(tmp_path, src)
+    off = _lint_source(tmp_path, src, messageflow=False)
+    assert {f.code for f in on.findings} == {"RPL010", "RPL011"}
+    assert off.findings == []
+
+
+def test_mailbox_allowlist_covers_runtime_internals(tmp_path):
+    src = CHARE_PREAMBLE + (
+        "    def run(self, msg):\n"
+        "        yield self.when('_reduction_result', ref=0)\n"
+    )
+    report = _lint_source(tmp_path, src)
+    assert report.findings == []
+    assert "_reduction_result" in DEFAULT_MAILBOX_ALLOWLIST
+
+
+def test_determinism_scope_limits_rpl02x(tmp_path):
+    # Outside src/repro/{sim,runtime,comm,apps} the determinism family is
+    # silent under the *default* config.
+    path = tmp_path / "harness.py"
+    path.write_text("import time\nt = time.time()\n")
+    report = run_lint([path])  # default config, default scope
+    assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# rendering
+
+
+def test_render_text_clean_and_dirty(tmp_path):
+    clean = _lint_source(tmp_path, "x = 1\n")
+    assert "clean" in render_text(clean)
+    dirty = run_lint(
+        [FIXTURES / "rpl022_os_entropy.py"], LintConfig(determinism_parts=None)
+    )
+    text = render_text(dirty)
+    assert "RPL022" in text and "rpl022_os_entropy.py" in text
+
+
+def test_render_json_roundtrip(tmp_path):
+    report = run_lint(
+        [FIXTURES / "rpl022_os_entropy.py"], LintConfig(determinism_parts=None)
+    )
+    data = json.loads(render_json(report))
+    assert data["version"] == JSON_SCHEMA_VERSION
+    assert data["counts"] == {"RPL022": 2}
+    assert all(
+        set(f) == {"path", "line", "col", "code", "rule", "message"}
+        for f in data["findings"]
+    )

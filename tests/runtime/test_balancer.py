@@ -173,7 +173,7 @@ def test_rebalance_improves_imbalanced_run():
 def test_rebalance_requires_quiescence():
     class Stuck(Chare):
         def run(self, msg):
-            yield self.when("never")
+            yield self.when("never")  # repro-lint: disable=RPL011 -- deliberate deadlock
 
     eng, cluster, rt = make_runtime()
     arr = rt.create_array(Stuck, shape=(1,))

@@ -130,7 +130,7 @@ def test_when_none_ref_matches_any():
 def test_deadlock_detection_reports_stuck_when():
     class Stuck(Chare):
         def run(self, msg):
-            yield self.when("never", ref=9)
+            yield self.when("never", ref=9)  # repro-lint: disable=RPL011 -- deliberate deadlock
 
     eng, cluster, rt = make_runtime()
     arr = rt.create_array(Stuck, shape=(1,))
@@ -142,7 +142,7 @@ def test_deadlock_detection_reports_stuck_when():
 def test_bad_yield_value_raises():
     class Bad(Chare):
         def run(self, msg):
-            yield 42
+            yield 42  # repro-lint: disable=RPL003 -- exercises the runtime's own check
 
     eng, cluster, rt = make_runtime()
     arr = rt.create_array(Bad, shape=(1,))
