@@ -6,14 +6,15 @@ up in ``results/bench_meta.json`` next to the figure timings.  The run
 doubles as a self-host check — the tree must come back clean.
 """
 
-import json
 import time
+from datetime import datetime, timezone
 from pathlib import Path
 
 from conftest import BENCH_META_PATH, RESULTS_DIR
 
 import repro
 from repro.lint import run_lint
+from repro.obs import append_bench_history
 
 REPO_ROOT = Path(repro.__file__).resolve().parents[2]
 
@@ -30,17 +31,16 @@ def test_lint_wall_clock(benchmark):
     assert report.files > 100
 
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    meta = {}
-    try:
-        meta = json.loads(BENCH_META_PATH.read_text())
-    except (OSError, ValueError):
-        pass
-    meta["lint"] = {
-        "files": report.files,
-        "findings": len(report.findings),
-        "suppressed": report.suppressed,
-        "wall_s": round(wall_s, 6),
-    }
-    BENCH_META_PATH.write_text(json.dumps(meta, indent=2, sort_keys=True))
+    append_bench_history(
+        BENCH_META_PATH,
+        "lint",
+        {
+            "files": report.files,
+            "findings": len(report.findings),
+            "suppressed": report.suppressed,
+            "wall_s": round(wall_s, 6),
+        },
+        now=datetime.now(timezone.utc),
+    )
     print(f"\n[lint] {report.files} files clean in {wall_s:.3f}s "
           f"({report.suppressed} suppressed)")

@@ -20,8 +20,8 @@ Environment knobs:
 
 from __future__ import annotations
 
-import json
 import os
+from datetime import datetime, timezone
 from pathlib import Path
 
 import pytest
@@ -29,6 +29,7 @@ import pytest
 from repro.analysis import render_figure
 from repro.core import FULL_NODES, QUICK_NODES, render_claims
 from repro.exec import ParallelRunner, ResultCache
+from repro.obs import append_bench_history
 
 RESULTS_DIR = Path(
     os.environ.get("REPRO_RESULTS_DIR",
@@ -52,21 +53,23 @@ def make_runner() -> ParallelRunner:
 
 
 def record_bench_meta(figure_id: str, stats) -> None:
-    """Merge one figure's runner metrics into ``results/bench_meta.json``."""
+    """Append one figure's runner metrics to its timestamped history in
+    ``results/bench_meta.json`` — each run extends the figure's perf
+    trajectory (``{"latest": ..., "history": [...]}``) instead of erasing
+    the previous one."""
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    meta = {}
-    try:
-        meta = json.loads(BENCH_META_PATH.read_text())
-    except (OSError, ValueError):
-        pass
-    meta[figure_id] = {
-        "points": stats.points,
-        "cache_hits": stats.cache_hits,
-        "retries": stats.retries,
-        "jobs": stats.jobs,
-        "wall_s": round(stats.wall_s, 6),
-    }
-    BENCH_META_PATH.write_text(json.dumps(meta, indent=2, sort_keys=True))
+    append_bench_history(
+        BENCH_META_PATH,
+        figure_id,
+        {
+            "points": stats.points,
+            "cache_hits": stats.cache_hits,
+            "retries": stats.retries,
+            "jobs": stats.jobs,
+            "wall_s": round(stats.wall_s, 6),
+        },
+        now=datetime.now(timezone.utc),
+    )
 
 
 def report(fig, claims, extra_notes=(), runner=None):

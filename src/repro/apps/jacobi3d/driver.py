@@ -7,8 +7,9 @@ from typing import Optional
 from ...ampi import AmpiWorld
 from ...hardware import COMPUTE, Cluster
 from ...mpi import MpiWorld
+from ...obs.timeline import compute_comm_overlap
 from ...runtime import CharmRuntime
-from ...sim import Engine, Tracer, merge_intervals, overlap_seconds
+from ...sim import Engine, Tracer, trace
 from .ampi_app import make_ampi_rank_class
 from .charm_app import make_block_class
 from .config import Jacobi3DConfig, Jacobi3DResult
@@ -23,6 +24,7 @@ def run_jacobi3d(
     tracer: Optional[Tracer] = None,
     initial_state: Optional[dict] = None,
     validate: bool = False,
+    observatory=None,
 ) -> Jacobi3DResult:
     """Simulate one Jacobi3D run; returns measurements (and, in functional
     mode, every block's final interior).
@@ -37,11 +39,19 @@ def run_jacobi3d(
     for the whole run and raises :class:`~repro.validate.InvariantError`
     if any simulation invariant is breached.  Monitors are pure observers:
     the event schedule (and therefore every result) is unchanged.
+
+    ``observatory`` (an :class:`~repro.obs.Observatory`) attaches a tracer
+    *and* a metrics registry for perf reporting; pass either it or a bare
+    ``tracer``, not both.
     """
+    if observatory is not None and tracer is not None:
+        raise ValueError("pass either tracer= or observatory=, not both")
     engine = Engine()
     if tracer is not None:
         tracer.attach(engine)
     cluster = Cluster(engine, config.machine, config.nodes)
+    if observatory is not None:
+        observatory.begin(engine, cluster)
     checker = None
     if validate:
         # Imported lazily: repro.validate's differential layer imports the
@@ -55,6 +65,9 @@ def run_jacobi3d(
 
     def observer(name, unit, **data):
         metrics.on_event(name, unit, now=engine.now, **data)
+        if name == "iter_done" and engine.tracer is not None:
+            key = getattr(unit, "index", None) or getattr(unit, "rank", None)
+            trace(engine, "app.iter_done", str(key), iter=data["iter"])
 
     blocks = None
     if config.is_charm:
@@ -110,12 +123,7 @@ def run_jacobi3d(
         for node in cluster.nodes
         for gpu in node.gpus
     )
-    spans = []
-    for node in cluster.nodes:
-        for gpu in node.gpus:
-            spans.extend(gpu.trackers[COMPUTE].spans)
-    compute_union = merge_intervals(spans)
-    overlap = overlap_seconds(compute_union, cluster.network.inflight.spans)
+    overlap = compute_comm_overlap(cluster)
     window = measured * cluster.n_gpus
     pe_busy = sum(pe.busy.busy_seconds(t_warm, t_end) for pe in cluster.all_pes())
 

@@ -27,6 +27,13 @@ results are bit-identical to serial uncached runs either way.
     Static analysis (docs/linting.md): the SDAG protocol / message-flow /
     determinism linter over the chare DSL.  ``--strict`` exits nonzero on
     findings (the CI configuration is ``repro lint --strict src tests``).
+``perf``
+    Observability (docs/observability.md): ``perf run`` simulates one
+    configuration under the full observability stack and reports
+    per-resource utilization, per-iteration phase attribution, the
+    critical path, and the metrics catalogue (text, ``--json``,
+    ``--html``, or a Perfetto trace via ``--trace``); ``perf compare``
+    is the regression gate CI runs against a committed baseline.
 """
 
 from __future__ import annotations
@@ -137,6 +144,42 @@ def _build_parser() -> argparse.ArgumentParser:
                              "(RPL010/RPL011)")
     lint_p.add_argument("--rules", action="store_true",
                         help="print the rule catalogue and exit")
+
+    perf_p = sub.add_parser(
+        "perf", help="perf reports & regression gate (docs/observability.md)")
+    perf_sub = perf_p.add_subparsers(dest="perf_command", required=True)
+
+    prun = perf_sub.add_parser("run", help="one config under the observability stack")
+    prun.add_argument("--version", default="charm-d", choices=list(ALL_VERSIONS))
+    prun.add_argument("--nodes", type=int, default=1)
+    prun.add_argument("--grid", type=int, nargs=3, default=[192, 192, 192],
+                      metavar=("X", "Y", "Z"))
+    prun.add_argument("--odf", type=int, default=1)
+    prun.add_argument("--iterations", type=int, default=10)
+    prun.add_argument("--warmup", type=int, default=1)
+    prun.add_argument("--fusion", choices=["A", "B", "C"], default=None)
+    prun.add_argument("--graphs", action="store_true", help="use CUDA Graphs")
+    prun.add_argument("--legacy", action="store_true",
+                      help="pre-optimization baseline (Fig. 6)")
+    prun.add_argument("--validate", action="store_true",
+                      help="run under the simulation invariant checker")
+    prun.add_argument("--json", metavar="PATH", default=None,
+                      help="write the perf report as JSON")
+    prun.add_argument("--html", metavar="PATH", default=None,
+                      help="write the perf report as a standalone HTML page")
+    prun.add_argument("--trace", metavar="PATH", default=None,
+                      help="write a Perfetto/Chrome trace (load in ui.perfetto.dev)")
+    prun.add_argument("--quiet", action="store_true",
+                      help="skip the text report on stdout")
+
+    pcmp = perf_sub.add_parser(
+        "compare", help="regression gate: exit 1 if current is slower than baseline")
+    pcmp.add_argument("baseline", metavar="BASELINE.json",
+                      help="perf-report or bench_meta JSON")
+    pcmp.add_argument("current", metavar="CURRENT.json",
+                      help="perf-report or bench_meta JSON")
+    pcmp.add_argument("--tolerance", type=float, default=0.05, metavar="FRAC",
+                      help="allowed slowdown fraction (default 0.05 = 5%%)")
     return parser
 
 
@@ -156,13 +199,17 @@ def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
                         help="cache location (default $REPRO_CACHE_DIR or ~/.cache/repro)")
     parser.add_argument("--validate", action="store_true",
                         help="run every simulated point under the invariant checker")
+    parser.add_argument("--perf-dir", metavar="DIR", default=None,
+                        help="save a perf report per simulated point "
+                             "(<config-key>.perf.json, next to the cached result)")
 
 
 def _make_runner(args) -> ParallelRunner:
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir or default_cache_dir())
-    return ParallelRunner(jobs=args.jobs, cache=cache, validate=args.validate)
+    return ParallelRunner(jobs=args.jobs, cache=cache, validate=args.validate,
+                          perf_dir=args.perf_dir)
 
 
 def _cmd_run(args) -> int:
@@ -280,6 +327,54 @@ def _cmd_lint(args) -> int:
     return 1 if (args.strict and report.findings) else 0
 
 
+def _cmd_perf(args) -> int:
+    # Imported here: obs pulls the reporting stack the other subcommands
+    # don't need at parse time (mirrors validate/lint lazy imports).
+    import json
+    from pathlib import Path
+
+    from .obs import Observatory, compare_perf
+
+    if args.perf_command == "compare":
+        baseline = json.loads(Path(args.baseline).read_text())
+        current = json.loads(Path(args.current).read_text())
+        comparison = compare_perf(baseline, current, tolerance=args.tolerance)
+        print(comparison.render_text())
+        return 0 if comparison.ok else 1
+
+    config = Jacobi3DConfig(
+        version=args.version,
+        nodes=args.nodes,
+        grid=tuple(args.grid),
+        odf=args.odf,
+        iterations=args.iterations,
+        warmup=args.warmup,
+        fusion=args.fusion,
+        cuda_graphs=args.graphs,
+        legacy_sync=args.legacy,
+    )
+    obs = Observatory()
+    result = run_jacobi3d(config, validate=args.validate, observatory=obs)
+    report = obs.report(result)
+    if not args.quiet:
+        print(report.render_text())
+    if args.json:
+        path = report.save(args.json)
+        print(f"perf report written to {path}", file=sys.stderr)
+    if args.html:
+        path = Path(args.html)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(report.render_html())
+        print(f"HTML report written to {path}", file=sys.stderr)
+    if args.trace:
+        path = Path(args.trace)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(obs.chrome_trace()))
+        print(f"Perfetto trace written to {path} (load in ui.perfetto.dev)",
+              file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -289,6 +384,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "protocols": _cmd_protocols,
         "validate": _cmd_validate,
         "lint": _cmd_lint,
+        "perf": _cmd_perf,
     }
     return handlers[args.command](args)
 

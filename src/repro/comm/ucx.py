@@ -121,6 +121,13 @@ class UcxContext:
         same_node = self.net.node_of_pe(src_pe) == self.net.node_of_pe(dst_pe)
         handle.protocol = select_protocol(self.spec, size, on_device, same_node=same_node)
         self.protocol_counts[handle.protocol] += 1
+        metrics = self.engine.metrics
+        if metrics is not None:
+            proto = handle.protocol.name.lower()
+            device = "gpu" if on_device else "host"
+            metrics.inc("ucx.messages", protocol=proto, device=device)
+            metrics.inc("ucx.bytes", size, protocol=proto)
+            metrics.observe("ucx.msg_bytes", size, protocol=proto)
         if self.monitor is not None:
             self.monitor.on_post(handle)
         self._match(handle)
@@ -139,6 +146,9 @@ class UcxContext:
     ) -> TransferHandle:
         """Post a nonblocking receive; ``done`` fires with data in place."""
         handle = self._make_handle("recv", src_pe, dst_pe, size, tag, on_device)
+        if self.engine.metrics is not None:
+            self.engine.metrics.inc(
+                "ucx.recvs_posted", device="gpu" if on_device else "host")
         if self.monitor is not None:
             self.monitor.on_post(handle)
         self._match(handle)
@@ -254,6 +264,8 @@ class UcxContext:
         unstage_events: list[Event] = []
         remaining = send.size
         trace(eng, "ucx.pipeline", f"pe{send.src_pe}", size=send.size, chunks=n_chunks)
+        if eng.metrics is not None:
+            eng.metrics.inc("ucx.pipeline_chunks", n_chunks, pe=send.src_pe)
         if src_state is not None:
             src_state.active_pipelines += 1
         try:

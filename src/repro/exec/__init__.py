@@ -15,6 +15,8 @@ from .runner import (
     PointOutcome,
     RunnerStats,
     default_worker,
+    perf_validating_worker,
+    perf_worker,
     validating_worker,
 )
 
@@ -31,5 +33,7 @@ __all__ = [
     "PointOutcome",
     "RunnerStats",
     "default_worker",
+    "perf_validating_worker",
+    "perf_worker",
     "validating_worker",
 ]

@@ -22,15 +22,17 @@ simulation, so this is embarrassingly parallel.  Guarantees:
 
 from __future__ import annotations
 
+import json
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Optional, Sequence
 
 from ..apps import Jacobi3DConfig, run_jacobi3d
-from .cache import ResultCache
+from .cache import ResultCache, config_key
 from .plan import ExperimentPlan, ExperimentPoint
 
 __all__ = [
@@ -40,6 +42,8 @@ __all__ = [
     "ParallelRunner",
     "default_worker",
     "validating_worker",
+    "perf_worker",
+    "perf_validating_worker",
 ]
 
 
@@ -60,6 +64,24 @@ def validating_worker(config_dict: dict):
     Results are bit-identical to :func:`default_worker`'s (monitors are
     pure observers)."""
     return run_jacobi3d(Jacobi3DConfig.from_dict(config_dict), validate=True)
+
+
+def perf_worker(config_dict: dict):
+    """:func:`default_worker` under an :class:`~repro.obs.Observatory`;
+    returns ``(result, perf_report_dict)`` so the runner can save the
+    report next to the cached result."""
+    from ..obs import collect_perf
+
+    result, report = collect_perf(Jacobi3DConfig.from_dict(config_dict))
+    return result, report.to_dict()
+
+
+def perf_validating_worker(config_dict: dict):
+    """:func:`perf_worker` with the invariant checker attached."""
+    from ..obs import collect_perf
+
+    result, report = collect_perf(Jacobi3DConfig.from_dict(config_dict), validate=True)
+    return result, report.to_dict()
 
 
 def _timed_call(worker, config_dict: dict):
@@ -130,6 +152,13 @@ class ParallelRunner:
         (:func:`validating_worker`): a breached invariant raises instead
         of producing a wrong result.  Cache hits skip the simulation and
         therefore the audit.  Ignored when ``worker`` is given.
+    perf_dir:
+        When set, every *simulated* point runs under an
+        :class:`~repro.obs.Observatory` (:func:`perf_worker`) and its perf
+        report is written to ``perf_dir/<config_key>.perf.json`` — the same
+        content-addressed key the result cache uses, so a report sits next
+        to its cached result.  Cache hits skip the simulation and keep the
+        previously written report.  Ignored when ``worker`` is given.
     """
 
     def __init__(
@@ -140,6 +169,7 @@ class ParallelRunner:
         worker: Optional[Callable] = None,
         on_point: Optional[ProgressFn] = None,
         validate: bool = False,
+        perf_dir: Optional[str] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -147,7 +177,13 @@ class ParallelRunner:
         self.cache = cache
         self.timeout = timeout
         self.validate = validate
-        self.worker = worker or (validating_worker if validate else default_worker)
+        self.perf_dir = Path(perf_dir) if perf_dir is not None else None
+        if worker is None:
+            if self.perf_dir is not None:
+                worker = perf_validating_worker if validate else perf_worker
+            else:
+                worker = validating_worker if validate else default_worker
+        self.worker = worker
         self.on_point = on_point
         self.stats = RunnerStats(jobs=jobs)
 
@@ -226,6 +262,11 @@ class ParallelRunner:
 
     def _finish(self, i, points, results, value, wall, stats, on_point,
                 cache_hit: bool = False, retried: bool = False) -> None:
+        if self.perf_dir is not None and type(value) is tuple and len(value) == 2:
+            value, report_dict = value
+            path = self.perf_dir / f"{config_key(points[i].config)}.perf.json"
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(report_dict, indent=2, sort_keys=True))
         results[i] = value
         stats.completed += 1
         stats.point_wall_s[i] = wall

@@ -114,6 +114,10 @@ class Network:
         message.sent_at = eng.now
         self.messages_sent += 1
         self.bytes_sent += message.size
+        if eng.metrics is not None:
+            route = "intra" if src_node == dst_node else "inter"
+            eng.metrics.inc("net.messages", route=route)
+            eng.metrics.inc("net.bytes", message.size, route=route)
         if self.monitor is not None:
             self.monitor.on_send(message)
         token = self.inflight.begin()

@@ -1,0 +1,73 @@
+"""Projections-style observability: metrics, timeline analysis, critical path,
+perf reports, and the perf-regression gate.
+
+The package layers on the simulator's monitor hooks and
+:class:`~repro.sim.tracing.Tracer` without importing the application stack;
+:func:`~repro.obs.report.collect_perf` lazy-imports the app driver.
+"""
+
+from .critpath import WAIT, CriticalPath, PathSegment, collect_segments, critical_path
+from .metrics import (
+    MAX_SERIES,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    size_bucket,
+)
+from .report import (
+    Comparison,
+    Observatory,
+    PerfReport,
+    Regression,
+    append_bench_history,
+    collect_perf,
+    compare_perf,
+    extract_comparable,
+)
+from .timeline import (
+    PHASES,
+    ResourceUsage,
+    classify_op,
+    compute_comm_overlap,
+    gpu_compute_spans,
+    iteration_boundaries,
+    per_iteration_phases,
+    phase_breakdown,
+    phase_intervals,
+    resource_usage,
+)
+
+__all__ = [
+    "MAX_SERIES",
+    "PHASES",
+    "SIZE_BUCKETS",
+    "WAIT",
+    "Comparison",
+    "Counter",
+    "CriticalPath",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observatory",
+    "PathSegment",
+    "PerfReport",
+    "Regression",
+    "ResourceUsage",
+    "append_bench_history",
+    "classify_op",
+    "collect_perf",
+    "collect_segments",
+    "compare_perf",
+    "compute_comm_overlap",
+    "critical_path",
+    "extract_comparable",
+    "gpu_compute_spans",
+    "iteration_boundaries",
+    "per_iteration_phases",
+    "phase_breakdown",
+    "phase_intervals",
+    "resource_usage",
+    "size_bucket",
+]

@@ -1,0 +1,290 @@
+"""Labelled counters, gauges, and histograms for simulated runs.
+
+The registry plays the role of Charm++'s Projections summary counters: a
+cheap, always-consistent tally of *what happened* (events scheduled,
+messages by protocol path, bytes by size bucket, launches per PE), as
+opposed to the tracer's *when it happened* timeline.
+
+Attachment mirrors :class:`~repro.sim.tracing.Tracer`: ``registry.attach
+(engine)`` sets ``engine.metrics``, and every instrumentation point in the
+simulator guards with a single ``if engine.metrics is not None`` check — a
+run without a registry pays one attribute test per instrumented site and
+allocates nothing.
+
+Label discipline
+----------------
+Metrics are keyed by ``(name, sorted label items)``.  Label values come
+from small enumerable domains (pe index, protocol name, msg-size bucket);
+a per-metric cardinality cap (default :data:`MAX_SERIES`) guards against a
+bug introducing an unbounded label (e.g. a per-message id): past the cap,
+samples are folded into a single ``(overflow)`` series instead of growing
+memory without bound, and ``dropped_series`` records how many distinct
+label sets were folded.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Iterable, Optional
+
+__all__ = [
+    "MAX_SERIES",
+    "SIZE_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "size_bucket",
+]
+
+#: Per-metric cap on distinct label sets (series).
+MAX_SERIES = 1024
+
+#: Power-of-4 byte buckets for message-size histograms: "64", "256", ...,
+#: "(2^30)+" — coarse enough to stay readable, fine enough to separate the
+#: eager / rendezvous / pipelined protocol regimes.
+SIZE_BUCKETS = tuple(4 ** k for k in range(3, 16))
+
+_OVERFLOW_KEY = (("_overflow", "true"),)
+
+
+def size_bucket(size: float) -> str:
+    """The histogram bucket label for a byte count (upper edge, or ``+inf``)."""
+    idx = bisect_left(SIZE_BUCKETS, size)
+    if idx >= len(SIZE_BUCKETS):
+        return "+inf"
+    return str(SIZE_BUCKETS[idx])
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Metric:
+    """Shared storage: one value cell per distinct label set."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, help: str = "", max_series: int = MAX_SERIES):
+        self.name = name
+        self.help = help
+        self.max_series = max_series
+        self.series: dict[tuple, Any] = {}
+        self.dropped_series = 0
+
+    def _cell_key(self, labels: dict) -> tuple:
+        key = _label_key(labels)
+        if key not in self.series and len(self.series) >= self.max_series:
+            self.dropped_series += 1
+            return _OVERFLOW_KEY
+        return key
+
+    def labels_of(self, key: tuple) -> dict:
+        return dict(key)
+
+    def snapshot(self) -> dict:
+        out = {
+            "kind": self.kind,
+            "series": [
+                {"labels": dict(key), "value": value}
+                for key, value in sorted(self.series.items())
+            ],
+        }
+        if self.help:
+            out["help"] = self.help
+        if self.dropped_series:
+            out["dropped_series"] = self.dropped_series
+        return out
+
+
+class Counter(_Metric):
+    """A monotonically increasing sum (events, messages, bytes, seconds)."""
+
+    kind = "counter"
+
+    def inc(self, value: float = 1.0, **labels) -> None:
+        if value < 0:
+            raise ValueError(f"counter {self.name}: negative increment {value}")
+        key = self._cell_key(labels)
+        self.series[key] = self.series.get(key, 0.0) + value
+
+    def value(self, **labels) -> float:
+        return self.series.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        return sum(self.series.values())
+
+
+class Gauge(_Metric):
+    """A point-in-time level (queue depth, live frames); tracks the max seen."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        key = self._cell_key(labels)
+        cell = self.series.get(key)
+        if cell is None:
+            self.series[key] = {"value": value, "max": value}
+        else:
+            cell["value"] = value
+            if value > cell["max"]:
+                cell["max"] = value
+
+    def value(self, **labels) -> float:
+        cell = self.series.get(_label_key(labels))
+        return cell["value"] if cell else 0.0
+
+    def max(self, **labels) -> float:
+        cell = self.series.get(_label_key(labels))
+        return cell["max"] if cell else 0.0
+
+
+class Histogram(_Metric):
+    """Bucketed distribution; buckets are *upper edges* (last bucket +inf).
+
+    Defaults to the message-size buckets of :data:`SIZE_BUCKETS`.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "", buckets: Optional[Iterable[float]] = None,
+                 max_series: int = MAX_SERIES):
+        super().__init__(name, help=help, max_series=max_series)
+        edges = tuple(buckets) if buckets is not None else SIZE_BUCKETS
+        if list(edges) != sorted(edges):
+            raise ValueError(f"histogram {name}: bucket edges must be sorted")
+        self.edges = edges
+
+    def observe(self, value: float, **labels) -> None:
+        key = self._cell_key(labels)
+        cell = self.series.get(key)
+        if cell is None:
+            cell = self.series[key] = {
+                "count": 0, "sum": 0.0, "buckets": [0] * (len(self.edges) + 1)
+            }
+        cell["count"] += 1
+        cell["sum"] += value
+        cell["buckets"][bisect_left(self.edges, value)] += 1
+
+    def count(self, **labels) -> int:
+        cell = self.series.get(_label_key(labels))
+        return cell["count"] if cell else 0
+
+    def sum(self, **labels) -> float:
+        cell = self.series.get(_label_key(labels))
+        return cell["sum"] if cell else 0.0
+
+
+class MetricsRegistry:
+    """A named collection of metrics, attachable to one :class:`Engine`.
+
+    Instrumented components use the auto-creating helpers (:meth:`inc`,
+    :meth:`set`, :meth:`observe`), so a site never has to pre-declare its
+    metric; analysis code can also :meth:`declare` metrics up front with
+    help strings for the catalogue.
+    """
+
+    def __init__(self, max_series: int = MAX_SERIES):
+        self._metrics: dict[str, _Metric] = {}
+        self.max_series = max_series
+        self._engine = None
+
+    # -- attachment (mirrors Tracer) --------------------------------------
+    def attach(self, engine) -> "MetricsRegistry":
+        """Register as ``engine.metrics``; idempotent on the same engine."""
+        if self._engine is engine:
+            return self
+        if self._engine is not None:
+            self._engine.metrics = None
+        self._engine = engine
+        engine.metrics = self
+        return self
+
+    def detach(self) -> None:
+        """Unregister from the current engine (no-op when unattached)."""
+        if self._engine is not None:
+            if getattr(self._engine, "metrics", None) is self:
+                self._engine.metrics = None
+            self._engine = None
+
+    def __enter__(self) -> "MetricsRegistry":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    # -- declaration ------------------------------------------------------
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._declare(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._declare(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Optional[Iterable[float]] = None) -> Histogram:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = Histogram(
+                name, help=help, buckets=buckets, max_series=self.max_series)
+        elif not isinstance(metric, Histogram):
+            raise TypeError(f"metric {name!r} already declared as {metric.kind}")
+        return metric
+
+    def _declare(self, cls, name, help):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = cls(name, help=help, max_series=self.max_series)
+        elif not isinstance(metric, cls):
+            raise TypeError(f"metric {name!r} already declared as {metric.kind}")
+        return metric
+
+    # -- instrumentation-site helpers (auto-create) ------------------------
+    def inc(self, name: str, value: float = 1.0, **labels) -> None:
+        self.counter(name).inc(value, **labels)
+
+    def set(self, name: str, value: float, **labels) -> None:
+        self.gauge(name).set(value, **labels)
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        self.histogram(name).observe(value, **labels)
+
+    # -- queries -----------------------------------------------------------
+    def get(self, name: str) -> Optional[_Metric]:
+        return self._metrics.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> dict:
+        """JSON-ready dump of every metric (stable ordering)."""
+        return {name: self._metrics[name].snapshot() for name in self.names()}
+
+    def scalar_totals(self) -> dict[str, float]:
+        """Counter totals across labels — the compact summary used by
+        :class:`~repro.obs.report.PerfReport`."""
+        return {
+            name: metric.total()
+            for name, metric in sorted(self._metrics.items())
+            if isinstance(metric, Counter)
+        }
+
+    def render_text(self) -> str:
+        lines = []
+        for name in self.names():
+            metric = self._metrics[name]
+            lines.append(f"{name} ({metric.kind})")
+            for key, value in sorted(metric.series.items()):
+                label_txt = ", ".join(f"{k}={v}" for k, v in key) or "-"
+                if metric.kind == "counter":
+                    shown = f"{value:g}"
+                elif metric.kind == "gauge":
+                    shown = f"{value['value']:g} (max {value['max']:g})"
+                else:
+                    shown = f"count={value['count']} sum={value['sum']:g}"
+                lines.append(f"  {label_txt:40s} {shown}")
+            if metric.dropped_series:
+                lines.append(f"  (overflow: {metric.dropped_series} label sets folded)")
+        return "\n".join(lines)

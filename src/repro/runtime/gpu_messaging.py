@@ -40,6 +40,9 @@ def gpu_message_send(chare, index, method: str, size: int, ref: Any = None) -> N
     dst_pe = array.mapping[index]
     tag = ("gm", array.array_id, next(_gm_seq))
     scheduler = runtime.scheduler_of(src_pe)
+    if runtime.engine.metrics is not None:
+        runtime.engine.metrics.inc("gm.sends", pe=src_pe)
+        runtime.engine.metrics.inc("gm.bytes", size, pe=src_pe)
 
     def thunk():
         runtime.ucx.isend(src_pe, dst_pe, size, tag=tag, on_device=True,

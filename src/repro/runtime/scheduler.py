@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from ..sim import PriorityStore, SimulationError, trace
+from ..sim import PriorityStore, SimulationError
 from .chare import Frame
 from .commands import Await, Launch, LaunchGraph, When, Work
 from .messages import EntryMessage, Resume, queue_priority
@@ -60,6 +60,11 @@ class Scheduler:
         while True:
             item = yield self.queue.get()
             self.messages_processed += 1
+            metrics = self.engine.metrics
+            if metrics is not None:
+                kind = "resume" if isinstance(item, Resume) else "entry"
+                metrics.inc("sched.messages", pe=self.pe.index, kind=kind)
+                metrics.set("sched.queue_depth", len(self.queue.items), pe=self.pe.index)
             if isinstance(item, Resume):
                 if item.frame.finished:
                     continue
@@ -118,12 +123,16 @@ class Scheduler:
             elif isinstance(cmd, Launch):
                 yield from self._flush()
                 yield from self._busy(cmd.stream.device.cpu_launch_cost(cmd.work))
+                if self.engine.metrics is not None:
+                    self.engine.metrics.inc("sched.launches", pe=self.pe.index, kind="kernel")
                 value = cmd.stream.enqueue(
                     cmd.work, name=cmd.name, wait_events=list(cmd.wait_events)
                 )
             elif isinstance(cmd, LaunchGraph):
                 yield from self._flush()
                 yield from self._busy(cmd.exec.cpu_launch_cost)
+                if self.engine.metrics is not None:
+                    self.engine.metrics.inc("sched.launches", pe=self.pe.index, kind="graph")
                 value = cmd.exec.launch(priority=cmd.priority, after=list(cmd.after))
             elif isinstance(cmd, When):
                 msg = chare._mailbox_pop(cmd.method, cmd.ref)
@@ -164,6 +173,8 @@ class Scheduler:
     # -- cost accounting -----------------------------------------------------------
     def _busy(self, seconds: float):
         if seconds > 0:
+            if self.engine.metrics is not None:
+                self.engine.metrics.inc("sched.busy_s", seconds, pe=self.pe.index)
             token = self.pe.busy.begin()
             yield self.engine.timeout(seconds)
             self.pe.busy.end(token)

@@ -323,6 +323,7 @@ class Engine:
         self._seq = 0
         self._active_process: Optional[Process] = None
         self.tracer = None  # set by sim.tracing.Tracer.attach()
+        self.metrics = None  # set by obs.metrics.MetricsRegistry.attach()
         self._monitors: list[Callable[[float, Event], None]] = []
 
     # -- monitoring --------------------------------------------------------
@@ -371,6 +372,8 @@ class Engine:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         heapq.heappush(self._heap, (self.now + delay, priority, self._seq, event))
         self._seq += 1
+        if self.metrics is not None:
+            self.metrics.inc("sim.events.scheduled")
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -385,6 +388,8 @@ class Engine:
         if self._monitors:
             for monitor in self._monitors:
                 monitor(time, event)
+        if self.metrics is not None:
+            self.metrics.inc("sim.events.executed")
         event._process()
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
@@ -421,6 +426,8 @@ class Engine:
                 if self._monitors:
                     for monitor in self._monitors:
                         monitor(time, event)
+                if self.metrics is not None:
+                    self.metrics.inc("sim.events.executed")
                 watched = bool(event.callbacks)
                 event._process()
                 if isinstance(event, Process) and not event.ok and not watched:
@@ -450,6 +457,8 @@ class Engine:
             if self._monitors:
                 for monitor in self._monitors:
                     monitor(time, event)
+            if self.metrics is not None:
+                self.metrics.inc("sim.events.executed")
             event._process()
             count += 1
         if not done.triggered:

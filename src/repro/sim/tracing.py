@@ -58,10 +58,32 @@ class Tracer:
         self._engine: Optional[Engine] = None
 
     def attach(self, engine: Engine) -> "Tracer":
-        """Register as ``engine.tracer`` and record against its clock."""
+        """Register as ``engine.tracer`` and record against its clock.
+
+        Idempotent: re-attaching to the same engine is a no-op, and
+        attaching to a different engine detaches from the old one first, so
+        repeated runs never leave stale cross-references behind.
+        """
+        if self._engine is engine:
+            return self
+        if self._engine is not None:
+            self.detach()
         self._engine = engine
         engine.tracer = self
         return self
+
+    def detach(self) -> None:
+        """Unregister from the current engine (no-op when unattached)."""
+        if self._engine is not None:
+            if getattr(self._engine, "tracer", None) is self:
+                self._engine.tracer = None
+            self._engine = None
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
 
     def emit(self, category: str, actor: str, **data: Any) -> None:
         if not self.enabled:

@@ -152,3 +152,57 @@ def test_lint_no_messageflow_flag(capsys):
     out = capsys.readouterr().out
     assert rc == 0
     assert "clean" in out
+
+
+PERF_RUN = ["perf", "run", "--version", "charm-d", "--grid", "96", "96", "96",
+            "--odf", "2", "--iterations", "4", "--warmup", "1"]
+
+
+def test_perf_run_prints_report(capsys):
+    rc = main(PERF_RUN)
+    out = capsys.readouterr().out
+    assert rc == 0
+    for needle in ("makespan", "critical path", "phase footprint", "counters"):
+        assert needle in out
+
+
+def test_perf_run_writes_artifacts(tmp_path, capsys):
+    report = tmp_path / "r.perf.json"
+    html = tmp_path / "r.html"
+    trace = tmp_path / "r.trace.json"
+    rc = main(PERF_RUN + ["--quiet", "--json", str(report),
+                          "--html", str(html), "--trace", str(trace)])
+    assert rc == 0
+    assert capsys.readouterr().out == ""  # --quiet suppresses the text report
+    doc = json.loads(report.read_text())
+    assert doc["schema"] == "repro.perf/1"
+    assert doc["time_per_iteration"] > 0
+    assert html.read_text().startswith("<!doctype html>")
+    assert all(ev["ph"] in ("X", "i") for ev in json.loads(trace.read_text()))
+
+
+def test_perf_compare_gate_exit_codes(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    rc = main(PERF_RUN + ["--quiet", "--json", str(baseline)])
+    assert rc == 0
+
+    # Identical inputs pass the gate.
+    assert main(["perf", "compare", str(baseline), str(baseline)]) == 0
+    assert "0 regression(s)" in capsys.readouterr().out
+
+    # A 10% slowdown fails it at the default 5% tolerance...
+    doc = json.loads(baseline.read_text())
+    doc["time_per_iteration"] *= 1.10
+    slower = tmp_path / "slower.json"
+    slower.write_text(json.dumps(doc))
+    assert main(["perf", "compare", str(baseline), str(slower)]) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+    # ...and passes with the tolerance widened.
+    assert main(["perf", "compare", str(baseline), str(slower),
+                 "--tolerance", "0.2"]) == 0
+
+
+def test_perf_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main(["perf"])

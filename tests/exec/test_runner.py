@@ -139,3 +139,42 @@ def test_per_point_timeout():
 def test_jobs_must_be_positive():
     with pytest.raises(ValueError):
         ParallelRunner(jobs=0)
+
+
+# -- perf-report sidecar files ----------------------------------------------
+
+
+def test_perf_dir_saves_report_per_point(tmp_path):
+    from repro.exec import config_key
+
+    configs = [_config(odf=2), _config(odf=4)]
+    runner = ParallelRunner(jobs=2, perf_dir=tmp_path / "perf")
+    results = runner.run_configs(configs)
+
+    from repro.obs import PerfReport
+    for config, result in zip(configs, results):
+        report = PerfReport.load(tmp_path / "perf"
+                                 / f"{config_key(config)}.perf.json")
+        # Observation never perturbs the simulation itself.
+        assert report.makespan == result.total_time
+        assert report.time_per_iteration == result.time_per_iteration
+        assert report.critical_path["length_s"] == pytest.approx(
+            report.makespan, rel=0.01)
+
+
+def test_perf_dir_results_match_plain_run(tmp_path):
+    plain = ParallelRunner(jobs=1).run_configs(_CONFIGS[:2])
+    with_perf = ParallelRunner(jobs=1, perf_dir=tmp_path).run_configs(_CONFIGS[:2])
+    assert [r.to_dict() for r in plain] == [r.to_dict() for r in with_perf]
+
+
+def test_perf_dir_with_cache_skips_rerun_but_keeps_report(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    perf_dir = tmp_path / "perf"
+    ParallelRunner(cache=cache, perf_dir=perf_dir).run_configs(_CONFIGS[:1])
+    assert len(list(perf_dir.glob("*.perf.json"))) == 1
+
+    warm = ParallelRunner(cache=cache, perf_dir=perf_dir)
+    warm.run_configs(_CONFIGS[:1])
+    assert warm.stats.cache_hits == 1  # cached result reused; report kept
+    assert len(list(perf_dir.glob("*.perf.json"))) == 1

@@ -1,0 +1,218 @@
+"""Perf reports and the regression gate: collection, serialization,
+comparison semantics, and the bench_meta history helper."""
+
+import json
+
+import pytest
+
+from repro.apps import Jacobi3DConfig, run_jacobi3d
+from repro.obs import (
+    Observatory,
+    PerfReport,
+    append_bench_history,
+    collect_perf,
+    compare_perf,
+    extract_comparable,
+)
+
+CONFIG = Jacobi3DConfig(version="charm-d", nodes=2, grid=(96, 96, 96),
+                        odf=4, iterations=6, warmup=2)
+
+
+@pytest.fixture(scope="module")
+def perf():
+    return collect_perf(CONFIG)
+
+
+# ---------------------------------------------------------------------------
+# Collection
+# ---------------------------------------------------------------------------
+
+
+def test_report_answers_the_papers_questions(perf):
+    result, report = perf
+    assert report.makespan == result.total_time
+    assert report.time_per_iteration == result.time_per_iteration
+    assert report.overlap_s == result.overlap_s
+    # Per-resource utilization, per-iteration phases, critical path: all there.
+    assert any(r["kind"] == "gpu.compute" and r["busy_s"] > 0 for r in report.resources)
+    assert len(report.iterations) == CONFIG.total_iterations
+    assert report.critical_path["length_s"] == pytest.approx(report.makespan, rel=0.01)
+    assert report.counters["ucx.messages"] > 0
+    assert report.counters["sim.events.executed"] > 0
+
+
+def test_observatory_run_matches_plain_run(perf):
+    # Observability must be a pure observer: results are bit-identical.
+    result, _report = perf
+    plain = run_jacobi3d(CONFIG)
+    assert plain.total_time == result.total_time
+    assert plain.time_per_iteration == result.time_per_iteration
+    assert plain.overlap_s == result.overlap_s
+    assert plain.messages_sent == result.messages_sent
+
+
+def test_observatory_report_before_run_raises():
+    with pytest.raises(RuntimeError):
+        Observatory().report(None)
+
+
+def test_driver_rejects_tracer_plus_observatory():
+    from repro.sim import Tracer
+    with pytest.raises(ValueError):
+        run_jacobi3d(CONFIG, tracer=Tracer(), observatory=Observatory())
+
+
+def test_overlap_odf4_exceeds_odf1():
+    # Acceptance: overdecomposition buys overlap on the same config.
+    base = CONFIG.to_dict()
+    base["odf"] = 1
+    r1 = run_jacobi3d(Jacobi3DConfig.from_dict(base))
+    r4 = run_jacobi3d(CONFIG)
+    assert r4.overlap_s > r1.overlap_s
+
+
+def test_chrome_trace_export(perf):
+    obs = Observatory()
+    run_jacobi3d(CONFIG, observatory=obs)
+    events = obs.chrome_trace()
+    assert events and json.loads(json.dumps(events))
+
+
+# ---------------------------------------------------------------------------
+# Serialization and rendering
+# ---------------------------------------------------------------------------
+
+
+def test_report_json_round_trip(tmp_path, perf):
+    _result, report = perf
+    path = report.save(tmp_path / "r.perf.json")
+    loaded = PerfReport.load(path)
+    assert loaded.to_dict() == report.to_dict()
+    assert loaded.scalar_metrics() == report.scalar_metrics()
+
+
+def test_render_text_sections(perf):
+    _result, report = perf
+    text = report.render_text()
+    for needle in ("makespan", "resources", "phase footprint",
+                   "per-iteration", "critical path", "counters"):
+        assert needle in text
+
+
+def test_render_html_is_standalone(perf):
+    _result, report = perf
+    html = report.render_html()
+    assert html.startswith("<!doctype html>")
+    assert "Critical path" in html and "Resources" in html
+
+
+# ---------------------------------------------------------------------------
+# The regression gate
+# ---------------------------------------------------------------------------
+
+
+def _doc(tpi=1.0, makespan=10.0):
+    return {"time_per_iteration": tpi, "makespan": makespan}
+
+
+def test_identical_inputs_pass():
+    comparison = compare_perf(_doc(), _doc(), tolerance=0.05)
+    assert comparison.ok
+    assert comparison.unchanged == 2
+
+
+def test_ten_percent_slowdown_fails_at_five_percent_tolerance():
+    comparison = compare_perf(_doc(), _doc(tpi=1.10), tolerance=0.05)
+    assert not comparison.ok
+    (reg,) = comparison.regressions
+    assert reg.metric == "time_per_iteration"
+    assert reg.ratio == pytest.approx(1.10)
+    assert "REGRESSION" in comparison.render_text()
+
+
+def test_slowdown_within_tolerance_passes():
+    assert compare_perf(_doc(), _doc(tpi=1.04), tolerance=0.05).ok
+
+
+def test_improvement_is_reported_not_failed():
+    comparison = compare_perf(_doc(), _doc(tpi=0.5), tolerance=0.05)
+    assert comparison.ok
+    assert len(comparison.improvements) == 1
+
+
+def test_only_shared_metrics_compared():
+    comparison = compare_perf({"time_per_iteration": 1.0},
+                              _doc(tpi=1.0, makespan=99.0))
+    assert comparison.ok
+    assert comparison.unchanged == 1  # makespan absent from baseline: skipped
+
+
+def test_negative_tolerance_rejected():
+    with pytest.raises(ValueError):
+        compare_perf(_doc(), _doc(), tolerance=-0.1)
+
+
+def test_extract_comparable_bench_meta_formats():
+    doc = {
+        "fig6": {"latest": {"wall_s": 2.5}, "history": [{"wall_s": 3.0},
+                                                        {"wall_s": 2.5}]},
+        "fig7a": {"history": [{"wall_s": 4.0}]},  # no latest: newest entry
+        "fig8": {"wall_s": 1.0},                  # legacy flat entry
+        "schema": "not-a-figure",
+        "lint": {"latest": {"files": 120}},       # no wall_s: skipped
+    }
+    assert extract_comparable(doc) == {
+        "fig6.wall_s": 2.5, "fig7a.wall_s": 4.0, "fig8.wall_s": 1.0}
+
+
+def test_gate_on_real_report_is_deterministic(perf):
+    _result, report = perf
+    again = collect_perf(CONFIG)[1]
+    comparison = compare_perf(report.to_dict(), again.to_dict(), tolerance=0.0)
+    assert comparison.ok  # simulated metrics: bit-identical across runs
+
+
+# ---------------------------------------------------------------------------
+# append_bench_history (the conftest satellite's engine)
+# ---------------------------------------------------------------------------
+
+
+def test_history_appends_instead_of_overwriting(tmp_path):
+    path = tmp_path / "bench_meta.json"
+    append_bench_history(path, "fig6", {"wall_s": 1.0}, now="2026-08-06T00:00:00")
+    meta = append_bench_history(path, "fig6", {"wall_s": 2.0},
+                                now="2026-08-07T00:00:00")
+    slot = meta["fig6"]
+    assert [e["wall_s"] for e in slot["history"]] == [1.0, 2.0]
+    assert slot["latest"]["wall_s"] == 2.0
+    assert slot["latest"]["at"] == "2026-08-07T00:00:00"
+    assert json.loads(path.read_text()) == meta
+
+
+def test_history_migrates_legacy_flat_entry(tmp_path):
+    path = tmp_path / "bench_meta.json"
+    path.write_text(json.dumps({"fig6": {"wall_s": 9.0, "points": 4}}))
+    meta = append_bench_history(path, "fig6", {"wall_s": 1.0})
+    assert [e["wall_s"] for e in meta["fig6"]["history"]] == [9.0, 1.0]
+
+
+def test_history_is_capped(tmp_path):
+    path = tmp_path / "bench_meta.json"
+    for i in range(7):
+        meta = append_bench_history(path, "fig6", {"wall_s": float(i)}, limit=3)
+    assert [e["wall_s"] for e in meta["fig6"]["history"]] == [4.0, 5.0, 6.0]
+
+
+def test_history_other_keys_untouched(tmp_path):
+    path = tmp_path / "bench_meta.json"
+    append_bench_history(path, "fig6", {"wall_s": 1.0})
+    meta = append_bench_history(path, "lint", {"wall_s": 0.5})
+    assert meta["fig6"]["latest"]["wall_s"] == 1.0
+
+
+def test_history_recovers_from_corrupt_file(tmp_path):
+    path = tmp_path / "bench_meta.json"
+    path.write_text("{not json")
+    meta = append_bench_history(path, "fig6", {"wall_s": 1.0})
+    assert meta["fig6"]["latest"]["wall_s"] == 1.0

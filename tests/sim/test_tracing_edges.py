@@ -87,6 +87,65 @@ def test_chrome_trace_args_keep_scalars_only():
     assert ev["args"] == {"size": 4096, "dst": 1, "note": "hi"}  # tuple dropped
 
 
+# ---------------------------------------------------------------------------
+# Tracer attachment lifecycle (idempotent attach, detach, context manager)
+# ---------------------------------------------------------------------------
+
+
+def test_attach_same_engine_is_idempotent():
+    eng = Engine()
+    tracer = Tracer().attach(eng)
+    assert tracer.attach(eng) is tracer
+    assert eng.tracer is tracer
+    tracer.emit("x", "a")
+    assert len(tracer.records) == 1  # no double-recording after re-attach
+
+
+def test_reattach_to_new_engine_clears_old_reference():
+    eng1, eng2 = Engine(), Engine()
+    tracer = Tracer().attach(eng1)
+    tracer.attach(eng2)
+    assert eng1.tracer is None
+    assert eng2.tracer is tracer
+
+
+def test_detach_clears_engine_and_is_safe_to_repeat():
+    eng = Engine()
+    tracer = Tracer().attach(eng)
+    tracer.detach()
+    assert eng.tracer is None
+    tracer.detach()  # no-op when unattached
+
+
+def test_detach_leaves_foreign_tracer_alone():
+    # Someone else attached after us: detach must not evict them.
+    eng = Engine()
+    first = Tracer().attach(eng)
+    second = Tracer().attach(eng)
+    first.detach()
+    assert eng.tracer is second
+
+
+def test_context_manager_detaches_on_exit():
+    eng = Engine()
+    with Tracer().attach(eng) as tracer:
+        tracer.emit("cat", "actor")
+    assert eng.tracer is None
+    assert len(tracer.records) == 1  # records survive detachment
+
+
+def test_category_prefix_filtering():
+    eng = Engine()
+    tracer = Tracer(categories=["gpu.", "net.send"]).attach(eng)
+    tracer.emit("gpu.compute", "g0", op="k")
+    tracer.emit("gpu.copy_d2h", "g0", op="c")
+    tracer.emit("net.send", "pe0")
+    tracer.emit("net.deliver", "pe1")   # not under any prefix
+    tracer.emit("sched.message", "pe0")
+    assert [r.category for r in tracer.records] == [
+        "gpu.compute", "gpu.copy_d2h", "net.send"]
+
+
 def test_chrome_trace_is_json_serializable():
     eng = Engine()
     tracer = Tracer().attach(eng)
