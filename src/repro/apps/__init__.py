@@ -1,7 +1,26 @@
-"""Applications built on the runtime: Jacobi3D and its decomposition."""
+"""Applications built on the runtime.
 
-from .decomposition import BlockGeometry, factor_triples, partition_dims
+The app framework has three pieces:
+
+* :mod:`~repro.apps.registry` — the :class:`AppSpec` protocol and the
+  process-wide registry.  Everything downstream (cache, runner, CLI,
+  differential matrix, golden store, observatory) dispatches on the
+  stable ``app`` name carried in every config dict.
+* :mod:`~repro.apps.stencil` — the reusable halo-exchange/stencil core:
+  dimension-generic geometry, config, context, and the charm/mpi/ampi
+  frontends with fusion strategies and the CUDA-graphs path.
+* The registered workloads: :mod:`~repro.apps.jacobi3d` (the paper's
+  7-point 3D proxy app) and :mod:`~repro.apps.jacobi2d` (a 5-point 2D
+  stencil proving the abstraction).
+
+Importing this package registers both apps.
+"""
+
+from . import registry as registry  # noqa: F401  (import order matters)
+from .driver import run_app
+from .jacobi2d import Jacobi2DConfig, Jacobi2DResult
 from .jacobi3d import (
+    ALL_VERSIONS,
     VERSIONS,
     AppContext,
     BlockData,
@@ -9,15 +28,44 @@ from .jacobi3d import (
     Jacobi3DResult,
     run_jacobi3d,
 )
+from .registry import (
+    AppSpec,
+    app_names,
+    config_from_dict,
+    get_app,
+    result_from_dict,
+    spec_for,
+)
+from .stencil import (
+    BlockGeometry,
+    StencilConfig,
+    StencilResult,
+    factor_triples,
+    factor_tuples,
+    partition_dims,
+)
 
 __all__ = [
+    "AppSpec",
+    "app_names",
+    "get_app",
+    "spec_for",
+    "config_from_dict",
+    "result_from_dict",
+    "run_app",
+    "StencilConfig",
+    "StencilResult",
     "BlockGeometry",
     "factor_triples",
+    "factor_tuples",
     "partition_dims",
     "VERSIONS",
+    "ALL_VERSIONS",
     "AppContext",
     "BlockData",
     "Jacobi3DConfig",
     "Jacobi3DResult",
+    "Jacobi2DConfig",
+    "Jacobi2DResult",
     "run_jacobi3d",
 ]

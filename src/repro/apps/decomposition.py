@@ -1,154 +1,17 @@
-"""3D grid decomposition.
+"""Backward-compatible entry point for grid decomposition.
 
-The paper decomposes the global grid "in a way that minimizes the aggregate
-surface area, which is tied to communication volume" (§IV-A).
-:func:`partition_dims` enumerates all factorizations of the part count into
-``(px, py, pz)`` and picks the one with minimal total exposed surface;
-:class:`BlockGeometry` then answers every per-block question the apps need:
-block dims (with remainders spread), neighbours, face sizes, offsets.
+The decomposition machinery is dimension-generic and lives in
+:mod:`repro.apps.stencil.geometry`; this module keeps the historical
+import path alive.
 """
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass
-from functools import lru_cache
-from typing import Iterator, Optional
+from .stencil.geometry import (
+    BlockGeometry,
+    factor_triples,
+    factor_tuples,
+    partition_dims,
+)
 
-from ..kernels.jacobi import FACES, opposite
-
-__all__ = ["factor_triples", "partition_dims", "BlockGeometry"]
-
-
-def factor_triples(n: int) -> Iterator[tuple[int, int, int]]:
-    """All ordered triples ``(a, b, c)`` with ``a*b*c == n``."""
-    if n < 1:
-        raise ValueError("n must be positive")
-    for a in range(1, n + 1):
-        if n % a:
-            continue
-        m = n // a
-        for b in range(1, m + 1):
-            if m % b:
-                continue
-            yield (a, b, m // b)
-
-
-@lru_cache(maxsize=1024)
-def partition_dims(n_parts: int, grid: tuple[int, int, int]) -> tuple[int, int, int]:
-    """The ``(px, py, pz)`` split of ``grid`` into ``n_parts`` blocks that
-    minimizes total inter-block surface area (communication volume).
-
-    Ties break toward the lexicographically smallest triple for
-    reproducibility.  Parts never exceed the grid cells on an axis.
-    """
-    gx, gy, gz = grid
-    best: Optional[tuple[float, tuple[int, int, int]]] = None
-    for px, py, pz in factor_triples(n_parts):
-        if px > gx or py > gy or pz > gz:
-            continue
-        bx, by, bz = gx / px, gy / py, gz / pz
-        # Internal surface: (px-1) cut planes of gy*gz cells each, etc.
-        surface = (px - 1) * gy * gz + (py - 1) * gx * gz + (pz - 1) * gx * gy
-        key = (surface, (px, py, pz))
-        if best is None or key < best:
-            best = key
-    if best is None:
-        raise ValueError(f"cannot split grid {grid} into {n_parts} parts")
-    return best[1]
-
-
-def _axis_split(cells: int, parts: int) -> list[int]:
-    """Split ``cells`` into ``parts`` sizes differing by at most one."""
-    base, extra = divmod(cells, parts)
-    return [base + (1 if i < extra else 0) for i in range(parts)]
-
-
-@dataclass(frozen=True)
-class BlockGeometry:
-    """Geometry of a ``parts``-way block decomposition of ``grid``."""
-
-    grid: tuple[int, int, int]
-    parts: tuple[int, int, int]
-
-    @classmethod
-    def auto(cls, n_parts: int, grid: tuple[int, int, int]) -> "BlockGeometry":
-        """Surface-minimizing decomposition into ``n_parts`` blocks."""
-        return cls(tuple(grid), partition_dims(n_parts, tuple(grid)))
-
-    def __post_init__(self):
-        for g, p in zip(self.grid, self.parts):
-            if p < 1 or g < p:
-                raise ValueError(f"cannot split {self.grid} as {self.parts}")
-
-    @property
-    def n_blocks(self) -> int:
-        px, py, pz = self.parts
-        return px * py * pz
-
-    @property
-    def shape(self) -> tuple[int, int, int]:
-        return self.parts
-
-    def indices(self) -> Iterator[tuple[int, int, int]]:
-        yield from itertools.product(*(range(p) for p in self.parts))
-
-    def block_dims(self, index: tuple[int, int, int]) -> tuple[int, int, int]:
-        """Interior cell counts of one block (remainders spread low-first)."""
-        return tuple(
-            _axis_split(self.grid[a], self.parts[a])[index[a]] for a in range(3)
-        )  # type: ignore[return-value]
-
-    def block_offset(self, index: tuple[int, int, int]) -> tuple[int, int, int]:
-        """Global coordinate of the block's ghost origin (cell (0,0,0) of
-        the ghosted local array), in global ghost-array coordinates."""
-        out = []
-        for a in range(3):
-            sizes = _axis_split(self.grid[a], self.parts[a])
-            out.append(sum(sizes[: index[a]]))
-        return tuple(out)  # type: ignore[return-value]
-
-    def neighbor(self, index: tuple[int, int, int], face) -> Optional[tuple[int, int, int]]:
-        """Neighbouring block index across ``face`` (None at domain edge)."""
-        axis, side = face
-        moved = list(index)
-        moved[axis] += side
-        if not 0 <= moved[axis] < self.parts[axis]:
-            return None
-        return tuple(moved)  # type: ignore[return-value]
-
-    def neighbors(self, index: tuple[int, int, int]) -> dict:
-        """``{face: neighbor_index}`` for the faces that have neighbours."""
-        out = {}
-        for face in FACES:
-            n = self.neighbor(index, face)
-            if n is not None:
-                out[face] = n
-        return out
-
-    def face_cells(self, index: tuple[int, int, int], face) -> int:
-        """Cells in the halo exchanged across ``face`` (cross-section area).
-
-        Identical for both sides of the face: neighbours differ only along
-        ``face``'s axis, and the cross-section axes split identically.
-        """
-        axis, _ = face
-        dims = self.block_dims(index)
-        area = 1
-        for a in range(3):
-            if a != axis:
-                area *= dims[a]
-        return area
-
-    def max_face_bytes(self, bytes_per_cell: int = 8) -> int:
-        """Largest halo message in the whole decomposition (protocol driver)."""
-        best = 0
-        for index in self.indices():
-            for face in FACES:
-                if self.neighbor(index, face) is not None:
-                    best = max(best, self.face_cells(index, face) * bytes_per_cell)
-        return best
-
-    def total_cells(self) -> int:
-        gx, gy, gz = self.grid
-        return gx * gy * gz
+__all__ = ["factor_triples", "factor_tuples", "partition_dims", "BlockGeometry"]

@@ -1,0 +1,146 @@
+"""The generic application driver: run any registered app end to end.
+
+:func:`run_app` owns everything that is *not* app-specific — engine,
+cluster, tracer/observatory attachment, invariant checking, metrics
+collection, and result assembly.  The app supplies only its config class,
+context factory and frontend block/rank classes, all looked up through its
+:class:`~repro.apps.registry.AppSpec`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ampi import AmpiWorld
+from ..hardware import COMPUTE, Cluster
+from ..mpi import MpiWorld
+from ..obs.timeline import compute_comm_overlap
+from ..runtime import CharmRuntime
+from ..sim import Engine, Tracer, trace
+from ..validate.invariants import InvariantChecker
+from .registry import spec_for
+
+__all__ = ["run_app"]
+
+
+def run_app(
+    config,
+    tracer: Optional[Tracer] = None,
+    initial_state: Optional[dict] = None,
+    validate: bool = False,
+    observatory=None,
+):
+    """Simulate one run of ``config``'s app; returns measurements (and, in
+    functional mode, every block's final interior).
+
+    ``initial_state`` (functional mode): block index -> interior array, to
+    continue from a checkpoint/restart instead of the cold initial
+    condition.  The decomposition depends only on the total block count, so
+    a checkpoint taken on N nodes restarts cleanly on M nodes whenever
+    ``n_blocks`` matches (overdecomposition absorbs the difference).
+
+    ``validate=True`` attaches an :class:`~repro.validate.InvariantChecker`
+    for the whole run and raises :class:`~repro.validate.InvariantError`
+    if any simulation invariant is breached.  Monitors are pure observers:
+    the event schedule (and therefore every result) is unchanged.
+
+    ``observatory`` (an :class:`~repro.obs.Observatory`) attaches a tracer
+    *and* a metrics registry for perf reporting; pass either it or a bare
+    ``tracer``, not both.
+    """
+    spec = spec_for(config)
+    if observatory is not None and tracer is not None:
+        raise ValueError("pass either tracer= or observatory=, not both")
+    engine = Engine()
+    if tracer is not None:
+        tracer.attach(engine)
+    cluster = Cluster(engine, config.machine, config.nodes)
+    if observatory is not None:
+        observatory.begin(engine, cluster)
+    checker = None
+    if validate:
+        checker = InvariantChecker().attach(engine)
+        checker.watch_cluster(cluster)
+    ctx = spec.make_context(config, initial_state=initial_state)
+    metrics = ctx.metrics
+
+    def observer(name, unit, **data):
+        metrics.on_event(name, unit, now=engine.now, **data)
+        if name == "iter_done" and engine.tracer is not None:
+            key = getattr(unit, "index", None) or getattr(unit, "rank", None)
+            trace(engine, "app.iter_done", str(key), iter=data["iter"])
+
+    blocks = None
+    if config.is_charm:
+        runtime = CharmRuntime(cluster)
+        runtime.observe(observer)
+        if checker is not None:
+            checker.watch_ucx(runtime.ucx)
+            checker.watch_runtime(runtime)
+        array = runtime.create_array(
+            spec.make_block_class(ctx), shape=ctx.shape, mapping="block", name="jacobi"
+        )
+        array.broadcast("run")
+        runtime.run()
+        ucx = runtime.ucx
+        if config.functional:
+            blocks = {idx: ch.data.f_interior() for idx, ch in array.elements.items()}
+    elif config.is_ampi:
+        world = AmpiWorld(cluster, vranks=config.n_blocks())
+        world.observe(observer)
+        if checker is not None:
+            checker.watch_ucx(world.runtime.ucx)
+            checker.watch_runtime(world.runtime)
+        ranks = world.launch(spec.make_ampi_rank_class(ctx))
+        world.run()
+        ucx = world.runtime.ucx
+        if config.functional:
+            blocks = {r.index: r.data.f_interior() for r in ranks}
+    else:
+        world = MpiWorld(cluster)
+        world.observe(observer)
+        if checker is not None:
+            checker.watch_ucx(world.ucx)
+        ranks = world.launch(spec.make_rank_class(ctx))
+        world.run()
+        ucx = world.ucx
+        if config.functional:
+            blocks = {r.index: r.data.f_interior() for r in ranks}
+
+    metrics.check_complete(config.total_iterations)
+    if checker is not None:
+        checker.finish()
+    t_end = engine.now
+    t_warm = metrics.warmup_boundary
+    measured = t_end - t_warm
+    if measured <= 0:
+        raise RuntimeError("measured window is empty; increase iterations")
+    per_iteration = metrics.time_per_iteration(config.iterations)
+
+    # All busy/overlap accounting is windowed to the measured (post-warmup)
+    # interval so warmup iterations do not inflate utilization.
+    gpu_busy = sum(
+        gpu.trackers[COMPUTE].busy_seconds(t_warm, t_end)
+        for node in cluster.nodes
+        for gpu in node.gpus
+    )
+    overlap = compute_comm_overlap(cluster)
+    window = measured * cluster.n_gpus
+    pe_busy = sum(pe.busy.busy_seconds(t_warm, t_end) for pe in cluster.all_pes())
+
+    return spec.result_cls(
+        config=config,
+        total_time=t_end,
+        warmup_boundary=t_warm,
+        time_per_iteration=per_iteration,
+        gpu_busy_s=gpu_busy,
+        gpu_utilization=min(1.0, gpu_busy / window) if window > 0 else 0.0,
+        pe_busy_s=pe_busy,
+        messages_sent=cluster.network.messages_sent,
+        bytes_sent=cluster.network.bytes_sent,
+        protocol_counts=dict(ucx.protocol_counts),
+        overlap_s=overlap,
+        max_halo_bytes=ctx.geometry.max_face_bytes(),
+        blocks=blocks,
+        residuals=ctx.residuals.history() if config.functional else None,
+    )

@@ -1,38 +1,8 @@
-"""AMPI Jacobi3D: the *unchanged* MPI rank program on the Charm++ runtime.
-
-The whole point of AMPI (and of the paper's future-work remark this
-extension models): the Fig. 1 program from :mod:`.rank_program` runs
-verbatim, but every rank is a chare-hosted *virtual* rank —
-
-* ``odf`` virtual ranks share each PE (``vranks = n_blocks``), so the
-  decomposition matches a Charm++ run at the same ``odf``;
-* ``waitall``/``sync`` suspend the chare instead of spinning the CPU, so
-  other virtual ranks on the PE overlap automatically.
-
-Used by the differential validation harness to check that the same
-physics falls out of all three runtimes bit-for-bit.
-"""
+"""Backward-compatible entry point for the AMPI stencil frontend
+(:mod:`repro.apps.stencil.ampi_app`)."""
 
 from __future__ import annotations
 
-from ...ampi import AmpiProcess
-from .context import AppContext
-from .rank_program import make_rank_program
+from ..stencil.ampi_app import make_ampi_rank_class
 
 __all__ = ["make_ampi_rank_class"]
-
-
-def make_ampi_rank_class(ctx: AppContext):
-    """A fresh virtual-rank class bound to this run's context."""
-
-    class JacobiAmpiRank(make_rank_program(ctx), AmpiProcess):
-        def init(self):
-            # pe/gpu are bound only when the hosting chare attaches —
-            # device setup must wait for main().
-            self._bind_block()
-
-        def main(self, msg=None):
-            self._setup_device()
-            yield from self._main_body()
-
-    return JacobiAmpiRank

@@ -1,241 +1,19 @@
-"""Shared per-run state: geometry, per-block data, timing collection."""
+"""Backward-compatible names for the Jacobi3D per-run state.
+
+The implementation lives in the dimension-generic stencil core
+(:mod:`repro.apps.stencil.context`); :class:`AppContext` is the historical
+Jacobi3D name for :class:`~repro.apps.stencil.context.StencilContext` (the
+default boundary for a 3D config is the canonical hot-top problem, exactly
+as before).
+"""
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Any, Optional
-
-import numpy as np
-
-from ...kernels import (
-    alloc_block,
-    apply_boundary,
-    fused_all_work,
-    fused_pack_work,
-    fused_unpack_work,
-    hot_top_boundary,
-    jacobi_update,
-    pack_face,
-    pack_work,
-    unpack_face,
-    unpack_work,
-    update_work,
-    interior_work,
-    exterior_work,
+from ..stencil.context import (
+    BlockData,
+    MetricsCollector,
+    ResidualHistory,
+    StencilContext as AppContext,
 )
-from ..decomposition import BlockGeometry
-from .config import Jacobi3DConfig
 
 __all__ = ["AppContext", "BlockData", "MetricsCollector", "ResidualHistory"]
-
-
-class ResidualHistory:
-    """Per-iteration residual of the Jacobi sweep (functional mode).
-
-    Each block records the max-norm delta ``max |out - u|`` over its own
-    interior cells for every iteration; :meth:`history` combines blocks by
-    ``max``.  Because every global interior cell belongs to exactly one
-    block and ``max`` is an exact selection (no rounding), the combined
-    history is **bitwise identical** across decompositions, schedules and
-    runtimes — which is exactly what the differential validation harness
-    (:mod:`repro.validate.differential`) asserts.
-    """
-
-    def __init__(self, n_blocks: int, total_iterations: int):
-        self.n_blocks = n_blocks
-        self.total_iterations = total_iterations
-        self._deltas: dict[int, dict] = {}  # iteration -> {block index: delta}
-
-    def record(self, block_index, iteration: int, delta: float) -> None:
-        per_block = self._deltas.setdefault(iteration, {})
-        key = tuple(block_index)
-        if key in per_block:
-            raise RuntimeError(f"block {key} recorded iteration {iteration} twice")
-        per_block[key] = delta
-
-    def history(self) -> list[float]:
-        """Combined per-iteration residuals; raises if any block is missing."""
-        out = []
-        for it in range(self.total_iterations):
-            per_block = self._deltas.get(it, {})
-            if len(per_block) != self.n_blocks:
-                raise RuntimeError(
-                    f"iteration {it}: only {len(per_block)}/{self.n_blocks} "
-                    "blocks recorded a residual"
-                )
-            out.append(max(per_block.values()))
-        return out
-
-
-class MetricsCollector:
-    """Gathers per-unit iteration completion times.
-
-    ``warmup_boundary`` is the latest time at which any unit finished the
-    last warmup iteration: the measured window is ``[boundary, end]``.
-    """
-
-    #: Steady-state tail: the per-unit period is taken over (up to) this many
-    #: final iterations, so startup transients and cross-unit skew cancel.
-    TAIL = 6
-
-    def __init__(self, n_units: int, warmup: int):
-        self.n_units = n_units
-        self.warmup = warmup
-        self.warmup_boundary = 0.0
-        self.last_iteration: dict[Any, int] = {}
-        self._tail_times: dict[Any, deque] = {}
-
-    def on_event(self, name: str, unit, **data) -> None:
-        if name != "iter_done":
-            return
-        it = data["iter"]
-        now = data["now"]
-        key = getattr(unit, "index", None) or getattr(unit, "rank", None)
-        self.last_iteration[key] = it
-        if it >= self.warmup:  # warmup iterations never enter the estimate
-            tail = self._tail_times.get(key)
-            if tail is None:
-                tail = self._tail_times[key] = deque(maxlen=self.TAIL + 1)
-            tail.append(now)
-        if self.warmup > 0 and it == self.warmup - 1 and now > self.warmup_boundary:
-            self.warmup_boundary = now
-
-    def time_per_iteration(self, measured_iterations: int) -> float:
-        """Steady-state iteration period.
-
-        Each unit's period is measured over its own last ``TAIL``
-        iterations (self-referencing timestamps, so cross-unit skew does not
-        bias the estimate and startup transients are excluded).
-        """
-        periods = []
-        for times in self._tail_times.values():
-            if len(times) >= 2:
-                periods.append((times[-1] - times[0]) / (len(times) - 1))
-        if not periods:
-            raise RuntimeError("need at least 2 iterations to estimate a period")
-        # Mean over units: halo coupling locks every unit to the same
-        # long-run rate, and the mean damps per-unit pipeline oscillation
-        # that a max would amplify.
-        return sum(periods) / len(periods)
-
-    def check_complete(self, total_iterations: int) -> None:
-        if len(self.last_iteration) != self.n_units:
-            raise RuntimeError(
-                f"only {len(self.last_iteration)}/{self.n_units} units reported progress"
-            )
-        lagging = {k: v for k, v in self.last_iteration.items() if v != total_iterations - 1}
-        if lagging:
-            raise RuntimeError(f"units stopped early: {lagging}")
-
-
-class BlockData:
-    """Everything one block needs: geometry, work models, functional arrays."""
-
-    def __init__(self, ctx: "AppContext", index: tuple):
-        geo = ctx.geometry
-        cfg = ctx.config
-        self.index = tuple(index)
-        self.dims = geo.block_dims(self.index)
-        self.neighbors = geo.neighbors(self.index)  # face -> neighbour index
-        self.face_cells = {f: geo.face_cells(self.index, f) for f in self.neighbors}
-        self.face_bytes = {f: 8 * c for f, c in self.face_cells.items()}
-        # Roofline work models.
-        self.update = update_work(self.dims)
-        self.packs = {f: pack_work(c) for f, c in self.face_cells.items()}
-        self.unpacks = {f: unpack_work(c) for f, c in self.face_cells.items()}
-        cells = list(self.face_cells.values())
-        self.fused_pack = fused_pack_work(cells) if cells else None
-        self.fused_unpack = fused_unpack_work(cells) if cells else None
-        self.fused_all = fused_all_work(self.dims, cells)
-        self.interior = interior_work(self.dims)
-        self.exterior = exterior_work(self.dims)
-        # Device memory: two block copies + send/recv halo buffers.
-        vol = self.dims[0] * self.dims[1] * self.dims[2]
-        self.device_bytes = 2 * 8 * vol + 2 * sum(self.face_bytes.values())
-        # Functional state.
-        self._functional = cfg.functional
-        self._residuals = ctx.residuals
-        self._iteration = 0
-        if self._functional:
-            self.u = alloc_block(self.dims)
-            apply_boundary(self.u, ctx.boundary, geo.grid,
-                           offset=geo.block_offset(self.index))
-            initial = ctx.initial_state.get(self.index) if ctx.initial_state else None
-            if initial is not None:
-                self.u[1:-1, 1:-1, 1:-1] = initial
-            self.out = self.u.copy()
-            self._halos: dict = {}
-        else:
-            self.u = self.out = None
-            self._halos = {}
-
-    # -- functional operations (no-ops in modeled mode) -------------------------
-    def f_pack_all(self) -> None:
-        if self._functional:
-            for face in self.neighbors:
-                self._halos[face] = pack_face(self.u, face)
-
-    def f_halo(self, face) -> Optional[np.ndarray]:
-        return self._halos.get(face) if self._functional else None
-
-    def f_unpack(self, face, data) -> None:
-        if self._functional and data is not None:
-            unpack_face(self.u, face, data)
-
-    def f_update(self) -> None:
-        if self._functional:
-            jacobi_update(self.u, self.out)
-            if self._residuals is not None:
-                delta = float(np.max(np.abs(
-                    self.out[1:-1, 1:-1, 1:-1] - self.u[1:-1, 1:-1, 1:-1])))
-                self._residuals.record(self.index, self._iteration, delta)
-            self._iteration += 1
-            self.u, self.out = self.out, self.u
-
-    def f_interior(self) -> Optional[np.ndarray]:
-        if not self._functional:
-            return None
-        return np.ascontiguousarray(self.u[1:-1, 1:-1, 1:-1])
-
-    # -- checkpoint/restart support (PUP idiom) ------------------------------
-    def snapshot(self) -> dict:
-        """Serializable state for checkpointing (``pup``)."""
-        if not self._functional:
-            return {"device_bytes": self.device_bytes}
-        return {"interior": self.f_interior()}
-
-    def restore(self, state: dict) -> None:
-        """Re-hydrate from a snapshot (``unpup``)."""
-        interior = state.get("interior")
-        if interior is not None and self._functional:
-            if interior.shape != tuple(self.dims):
-                raise ValueError(
-                    f"snapshot shape {interior.shape} != block dims {self.dims}"
-                )
-            self.u[1:-1, 1:-1, 1:-1] = interior
-
-
-class AppContext:
-    """One Jacobi3D run's immutable context, shared by all blocks.
-
-    ``initial_state`` (optional, functional mode): block index -> interior
-    array — used to continue from a checkpoint instead of the boundary-only
-    initial condition.
-    """
-
-    def __init__(self, config: Jacobi3DConfig, initial_state: Optional[dict] = None):
-        self.config = config
-        self.geometry = BlockGeometry.auto(config.n_blocks(), config.grid)
-        self.boundary = hot_top_boundary
-        self.initial_state = initial_state
-        self.metrics = MetricsCollector(config.n_pes() if config.is_mpi
-                                        else config.n_blocks(), config.warmup)
-        self.residuals = (ResidualHistory(config.n_blocks(), config.total_iterations)
-                          if config.functional else None)
-
-    @property
-    def shape(self) -> tuple[int, int, int]:
-        return self.geometry.shape
-
-    def block_data(self, index) -> BlockData:
-        return BlockData(self, index)

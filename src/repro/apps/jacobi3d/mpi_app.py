@@ -1,38 +1,8 @@
-"""MPI Jacobi3D (paper Fig. 1), host-staging and CUDA-aware.
-
-One rank per GPU.  The default flow is the non-overlapping variant the
-paper evaluates: post receives, pack (+stage), **block** on the stream
-sync, send, **block** in ``MPI_Waitall``, unpack, update, block again.
-
-``mpi_overlap=True`` enables Fig. 1's manual-overlap branch as an
-extension: the interior update is launched while halo exchanges are in
-flight, and only the exterior update waits for them.
-
-The loop itself lives in :mod:`.rank_program` — the identical program runs
-under AMPI (:mod:`.ampi_app`), which is what the differential validation
-harness compares against.
-"""
+"""Backward-compatible entry point for the MPI stencil frontend
+(:mod:`repro.apps.stencil.mpi_app`)."""
 
 from __future__ import annotations
 
-from ...mpi import MpiProcess
-from .context import AppContext
-from .rank_program import make_rank_program
+from ..stencil.mpi_app import make_rank_class
 
 __all__ = ["make_rank_class"]
-
-
-def make_rank_class(ctx: AppContext):
-    """A fresh rank class bound to this run's context."""
-
-    class JacobiRank(make_rank_program(ctx), MpiProcess):
-        def init(self):
-            # pe/gpu are bound at construction: device setup happens here,
-            # preserving the historical event ordering (and cached results).
-            self._bind_block()
-            self._setup_device()
-
-        def main(self, msg=None):
-            yield from self._main_body()
-
-    return JacobiRank

@@ -1,0 +1,49 @@
+"""The stencil apps' per-iteration cost phases and trace classifier.
+
+Apps declare their phase vocabulary in their :class:`~repro.apps.registry.
+AppSpec`; the observability layer (:mod:`repro.obs.timeline`) is generic
+and consumes whatever the app declares.  Every stencil app (Jacobi3D,
+Jacobi2D, ...) shares this vocabulary because the halo-exchange pipeline —
+produce halos, stage down, move, stage up, consume, update — is the same
+regardless of dimensionality.
+"""
+
+from __future__ import annotations
+
+__all__ = ["STENCIL_PHASES", "classify_stencil_op"]
+
+#: The per-iteration cost phases of a halo-exchange iteration, in pipeline
+#: order (paper Figs. 3-5): produce halos, stage them down, move them,
+#: stage them up, consume them, update.
+STENCIL_PHASES = ("pack", "d2h", "nic", "h2d", "unpack", "update", "other")
+
+
+def classify_stencil_op(category: str, op_name: str) -> str:
+    """Map one traced operation to its cost phase.
+
+    GPU copy engines map directly (D2H/H2D); D2D copies are the transport
+    leg of same-device IPC sends and count as ``nic``.  Compute-kernel
+    names follow the stencil conventions (``pack*``, ``unpack*``,
+    ``update`` / ``interior`` / ``exterior`` / ``fused*``), with the
+    ``graph.`` prefix of CUDA-graph nodes stripped first.
+    """
+    if category.startswith("gpu.copy_d2h"):
+        return "d2h"
+    if category.startswith("gpu.copy_h2d"):
+        return "h2d"
+    if category.startswith("gpu.copy_d2d"):
+        return "nic"
+    if category.startswith("net."):
+        return "nic"
+    if category.startswith("gpu.compute"):
+        name = op_name
+        if name.startswith("graph."):
+            name = name[len("graph."):]
+        if name.startswith("pack"):
+            return "pack"
+        if name.startswith("unpack"):
+            return "unpack"
+        if name.startswith(("update", "interior", "exterior", "fused")):
+            return "update"
+        return "other"
+    return "other"

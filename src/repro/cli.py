@@ -3,7 +3,10 @@
 Commands
 --------
 ``run``
-    One Jacobi3D configuration; prints the result summary and metrics.
+    One configuration of a registered app (``--app``, default jacobi3d);
+    prints the result summary and metrics.
+``apps``
+    List the registered applications (docs/apps.md).
 ``figure``
     Regenerate one of the paper's figures (``6a 6b 7a 7b 7c 8 9``); prints
     the table/chart and the shape-claim verdicts; optional JSON output.
@@ -22,7 +25,8 @@ results are bit-identical to serial uncached runs either way.
     differential matrix (Charm++/AMPI/MPI × fusion × CUDA graphs, bitwise
     physics) with the invariant checker attached, plus the golden-trace
     regression store under ``tests/golden`` (refresh with
-    ``--update-golden``).
+    ``--update-golden``).  Runs every registered app by default; scope
+    with ``--app``.
 ``lint``
     Static analysis (docs/linting.md): the SDAG protocol / message-flow /
     determinism linter over the chare DSL.  ``--strict`` exits nonzero on
@@ -43,8 +47,7 @@ import sys
 from typing import Optional, Sequence
 
 from .analysis import render_figure
-from .apps import Jacobi3DConfig, run_jacobi3d
-from .apps.jacobi3d import ALL_VERSIONS
+from .apps import ALL_VERSIONS, app_names, get_app, run_app
 from .exec import ParallelRunner, ResultCache, default_cache_dir
 from .core import (
     FULL_NODES,
@@ -86,11 +89,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run_p = sub.add_parser("run", help="run one Jacobi3D configuration")
+    run_p = sub.add_parser("run", help="run one configuration of a registered app")
+    run_p.add_argument("--app", default="jacobi3d", choices=app_names(),
+                       help="registered application (default jacobi3d)")
     run_p.add_argument("--version", default="charm-d", choices=list(ALL_VERSIONS))
     run_p.add_argument("--nodes", type=int, default=1)
-    run_p.add_argument("--grid", type=int, nargs=3, default=[192, 192, 192],
-                       metavar=("X", "Y", "Z"))
+    run_p.add_argument("--grid", type=int, nargs="+", default=None, metavar="N",
+                       help="global grid extents, one per app dimension "
+                            "(default: the app's default grid)")
     run_p.add_argument("--odf", type=int, default=1)
     run_p.add_argument("--iterations", type=int, default=10)
     run_p.add_argument("--warmup", type=int, default=1)
@@ -103,6 +109,8 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--validate", action="store_true",
                        help="run under the simulation invariant checker")
 
+    sub.add_parser("apps", help="list registered applications")
+
     fig_p = sub.add_parser("figure", help="regenerate a paper figure")
     fig_p.add_argument("id", choices=sorted(_FIGURES))
     fig_p.add_argument("--nodes", type=int, nargs="+", default=None)
@@ -113,8 +121,11 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_exec_flags(fig_p)
 
     sweep_p = sub.add_parser("sweep", help="overdecomposition-factor sweep")
+    sweep_p.add_argument("--app", default="jacobi3d", choices=app_names(),
+                         help="registered application (default jacobi3d)")
     sweep_p.add_argument("--base", type=int, default=1536,
-                         help="per-node cubic grid edge (default 1536)")
+                         help="per-node grid edge, applied to every app "
+                              "dimension (default 1536)")
     sweep_p.add_argument("--nodes", type=int, default=8)
     sweep_p.add_argument("--odfs", type=int, nargs="+", default=[1, 2, 4, 8, 16])
     _add_exec_flags(sweep_p)
@@ -122,6 +133,8 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("protocols", help="compare communication mechanisms")
 
     val_p = sub.add_parser("validate", help="correctness harness (docs/validation.md)")
+    val_p.add_argument("--app", default=None, choices=app_names(),
+                       help="scope to one registered app (default: all)")
     val_p.add_argument("--quick", action="store_true",
                        help="cross-runtime differential cases only (skip "
                             "fusion/graphs variants and the golden store)")
@@ -150,10 +163,13 @@ def _build_parser() -> argparse.ArgumentParser:
     perf_sub = perf_p.add_subparsers(dest="perf_command", required=True)
 
     prun = perf_sub.add_parser("run", help="one config under the observability stack")
+    prun.add_argument("--app", default="jacobi3d", choices=app_names(),
+                      help="registered application (default jacobi3d)")
     prun.add_argument("--version", default="charm-d", choices=list(ALL_VERSIONS))
     prun.add_argument("--nodes", type=int, default=1)
-    prun.add_argument("--grid", type=int, nargs=3, default=[192, 192, 192],
-                      metavar=("X", "Y", "Z"))
+    prun.add_argument("--grid", type=int, nargs="+", default=None, metavar="N",
+                      help="global grid extents, one per app dimension "
+                           "(default: the app's default grid)")
     prun.add_argument("--odf", type=int, default=1)
     prun.add_argument("--iterations", type=int, default=10)
     prun.add_argument("--warmup", type=int, default=1)
@@ -212,20 +228,28 @@ def _make_runner(args) -> ParallelRunner:
                           perf_dir=args.perf_dir)
 
 
-def _cmd_run(args) -> int:
-    config = Jacobi3DConfig(
-        version=args.version,
-        nodes=args.nodes,
-        grid=tuple(args.grid),
-        odf=args.odf,
-        iterations=args.iterations,
-        warmup=args.warmup,
-        fusion=args.fusion,
-        cuda_graphs=args.graphs,
-        legacy_sync=args.legacy,
-        data_mode="functional" if args.functional else "modeled",
+def _app_config(args, **extra):
+    """Build the selected app's config from shared run/perf-run flags."""
+    spec = get_app(args.app)
+    kwargs = dict(
+        version=args.version, nodes=args.nodes, odf=args.odf,
+        iterations=args.iterations, warmup=args.warmup, fusion=args.fusion,
+        cuda_graphs=args.graphs, legacy_sync=args.legacy, **extra,
     )
-    result = run_jacobi3d(config, validate=args.validate)
+    if args.grid is not None:
+        ndim = spec.config_cls.NDIM
+        if len(args.grid) != ndim:
+            raise SystemExit(
+                f"repro: --grid needs {ndim} value(s) for app "
+                f"{args.app!r}, got {len(args.grid)}")
+        kwargs["grid"] = tuple(args.grid)
+    return spec.config_cls(**kwargs)
+
+
+def _cmd_run(args) -> int:
+    config = _app_config(
+        args, data_mode="functional" if args.functional else "modeled")
+    result = run_app(config, validate=args.validate)
     print(result.summary())
     print(f"  time/iteration : {result.time_per_iteration * 1e6:12.2f} us")
     print(f"  total time     : {result.total_time * 1e3:12.3f} ms")
@@ -235,6 +259,15 @@ def _cmd_run(args) -> int:
     print(f"  largest halo   : {result.max_halo_bytes / 1024:.0f} KiB")
     for proto, count in sorted(result.protocol_counts.items(), key=lambda kv: kv[0].value):
         print(f"  protocol {proto.value:16s}: {count}")
+    return 0
+
+
+def _cmd_apps(_args) -> int:
+    for name in app_names():
+        spec = get_app(name)
+        config = spec.config_cls()
+        print(f"{name:12s} ndim={config.ndim}  "
+              f"default grid={config.grid}  {spec.description}")
     return 0
 
 
@@ -258,8 +291,9 @@ def _cmd_figure(args) -> int:
 
 def _cmd_sweep(args) -> int:
     runner = _make_runner(args)
-    fig = odf_sweep(base=(args.base,) * 3, nodes=args.nodes, odfs=args.odfs,
-                    runner=runner)
+    ndim = get_app(args.app).config_cls.NDIM
+    fig = odf_sweep(base=(args.base,) * ndim, nodes=args.nodes, odfs=args.odfs,
+                    runner=runner, app=args.app)
     print(f"[exec] {runner.stats.describe()}", file=sys.stderr)
     print(render_figure(fig, plot=False))
     for label, series in fig.series.items():
@@ -277,7 +311,7 @@ def _cmd_protocols(_args) -> int:
 def _cmd_validate(args) -> int:
     # Imported here: the validate package pulls in the whole app stack,
     # which the other subcommands do not need at parse time.
-    from .validate import CANONICAL_CONFIGS, GoldenStore, run_differential_matrix
+    from .validate import GoldenStore, canonical_configs, run_differential_matrix
 
     def progress(label, diff):
         if args.quiet:
@@ -287,23 +321,32 @@ def _cmd_validate(args) -> int:
         else:
             print(f"  {diff}", file=sys.stderr)
 
-    report = run_differential_matrix(quick=args.quick, progress=progress)
-    print(report.report())
-    ok = report.ok
+    # The paper's proxy app first, then the other registered apps.
+    apps = [args.app] if args.app else sorted(
+        app_names(), key=lambda name: (name != "jacobi3d", name))
+    ok = True
+    for app in apps:
+        if len(apps) > 1:
+            print(f"== app: {app} ==")
+        report = run_differential_matrix(quick=args.quick, progress=progress,
+                                         app=app)
+        print(report.report())
+        ok = ok and report.ok
 
+    configs = canonical_configs(args.app) if args.app else canonical_configs()
     store = GoldenStore(args.golden_dir)
     if args.update_golden:
-        paths = store.update_all()
+        paths = store.update_all(configs)
         print(f"golden store: refreshed {len(paths)} entries in {store.root}")
     elif not args.quick:
-        problems = store.check_all()
+        problems = store.check_all(configs)
         if problems:
             ok = False
             print(f"golden store: {len(problems)} mismatch(es)")
             for p in problems:
                 print(f"  {p}")
         else:
-            print(f"golden store: {len(CANONICAL_CONFIGS)} entries clean")
+            print(f"golden store: {len(configs)} entries clean")
     return 0 if ok else 1
 
 
@@ -342,19 +385,9 @@ def _cmd_perf(args) -> int:
         print(comparison.render_text())
         return 0 if comparison.ok else 1
 
-    config = Jacobi3DConfig(
-        version=args.version,
-        nodes=args.nodes,
-        grid=tuple(args.grid),
-        odf=args.odf,
-        iterations=args.iterations,
-        warmup=args.warmup,
-        fusion=args.fusion,
-        cuda_graphs=args.graphs,
-        legacy_sync=args.legacy,
-    )
+    config = _app_config(args)
     obs = Observatory()
-    result = run_jacobi3d(config, validate=args.validate, observatory=obs)
+    result = run_app(config, validate=args.validate, observatory=obs)
     report = obs.report(result)
     if not args.quiet:
         print(report.render_text())
@@ -379,6 +412,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
         "run": _cmd_run,
+        "apps": _cmd_apps,
         "figure": _cmd_figure,
         "sweep": _cmd_sweep,
         "protocols": _cmd_protocols,

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Optional, Sequence
 
-from ..apps import Jacobi3DConfig
+from ..apps import StencilConfig, get_app
 from ..analysis import FigureData
 from ..exec import ExperimentPlan, ParallelRunner, PointOutcome
 from ..hardware import MachineSpec
@@ -103,9 +103,9 @@ def iterations_for(nodes: int) -> tuple[int, int]:
     return 3, 1
 
 
-def _config(version, nodes, grid, machine, odf=1, **kw) -> Jacobi3DConfig:
+def _config(version, nodes, grid, machine, odf=1, app="jacobi3d", **kw) -> StencilConfig:
     iters, warm = iterations_for(nodes)
-    return Jacobi3DConfig(
+    return get_app(app).config_cls(
         version=version, nodes=nodes, grid=grid, odf=odf,
         iterations=kw.pop("iterations", iters), warmup=kw.pop("warmup", warm),
         machine=machine or MachineSpec.summit(), **kw,
@@ -340,10 +340,12 @@ def odf_sweep(
     machine=None,
     progress=None,
     runner=None,
+    app: str = "jacobi3d",
 ) -> FigureData:
     """Time/iteration vs ODF for the Charm++ versions (weak-scaled grid of
     ``base`` per node).  Reproduces the §IV-B observations: ODF ≈ 4 best for
-    the 1536³ problem, ODF 1 best for 192³.
+    the 1536³ problem, ODF 1 best for 192³.  ``app`` selects the registered
+    workload (``base`` must match its dimensionality).
 
     With a cached runner, points shared with :func:`figure7c`'s per-ODF
     series (same config) are reused rather than re-simulated.
@@ -351,12 +353,12 @@ def odf_sweep(
     grid = weak_grid(base, nodes)
     plan = ExperimentPlan(
         "odf_sweep",
-        f"ODF sweep, {base[0]}^3 per node on {nodes} nodes",
+        f"ODF sweep, {base[0]}^{len(tuple(base))} per node on {nodes} nodes",
         "ODF",
         "time/iter (s)",
     )
     for version in versions:
         for odf in odfs:
-            plan.add(_config(version, nodes, grid, machine, odf=odf),
+            plan.add(_config(version, nodes, grid, machine, odf=odf, app=app),
                      version, odf, meta_fields=_UTIL)
     return plan.figure(_execute(plan, runner, progress))

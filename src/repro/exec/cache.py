@@ -1,14 +1,16 @@
 """Content-addressed on-disk result cache.
 
-A simulated experiment is a pure function of its :class:`Jacobi3DConfig`
-(grid, version, ODF, ..., and the full :class:`MachineSpec` with every
+A simulated experiment is a pure function of its config (app name, grid,
+version, ODF, ..., and the full :class:`MachineSpec` with every
 calibration constant) — so results are cached under a key derived from the
 config's canonical serialized form plus a model-version stamp:
 
 ``key = sha256(canonical_json({model_version, config.to_dict()}))``
 
 * Changing **any** config or machine field changes ``config.to_dict()`` and
-  therefore the key: an ablated machine never aliases Summit.
+  therefore the key: an ablated machine never aliases Summit, and two apps
+  with coinciding grid parameters never alias each other (``to_dict`` leads
+  with the stable ``app`` name).
 * Changing the **cost model's code** (how specs are turned into time) is
   invisible to the config dict, so :data:`MODEL_VERSION` must be bumped
   whenever simulator semantics or calibration interpretation change — that
@@ -35,7 +37,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional
 
-from ..apps import Jacobi3DConfig, Jacobi3DResult
+from ..apps import StencilConfig, result_from_dict, spec_for
 
 __all__ = ["MODEL_VERSION", "CacheStats", "ResultCache", "config_key", "default_cache_dir"]
 
@@ -45,7 +47,7 @@ __all__ = ["MODEL_VERSION", "CacheStats", "ResultCache", "config_key", "default_
 MODEL_VERSION = 1
 
 
-def config_key(config: Jacobi3DConfig) -> str:
+def config_key(config: StencilConfig) -> str:
     """The content-addressed cache key for ``config``."""
     payload = {"model_version": MODEL_VERSION, "config": config.to_dict()}
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
@@ -69,18 +71,19 @@ class CacheStats:
 
 
 class ResultCache:
-    """Content-addressed store of :class:`Jacobi3DResult` JSON entries."""
+    """Content-addressed store of result JSON entries for any registered
+    app."""
 
     def __init__(self, root) -> None:
         self.root = Path(root)
         self.stats = CacheStats()
 
-    def path_for(self, config: Jacobi3DConfig) -> Path:
+    def path_for(self, config: StencilConfig) -> Path:
         key = config_key(config)
         return self.root / key[:2] / f"{key}.json"
 
     # -- lookup ------------------------------------------------------------
-    def get(self, config: Jacobi3DConfig) -> Optional[Jacobi3DResult]:
+    def get(self, config: StencilConfig):
         """The cached result for ``config``, or ``None`` on miss.  Any entry
         that fails to parse/validate counts as corrupt, is deleted, and
         reads as a miss (the caller recomputes and overwrites)."""
@@ -98,7 +101,7 @@ class ResultCache:
             data = json.loads(text)
             if data["key"] != key or data["model_version"] != MODEL_VERSION:
                 raise ValueError("cache entry does not match its address")
-            result = Jacobi3DResult.from_dict(data["result"])
+            result = result_from_dict(data["result"], expected=spec_for(config))
         except Exception:
             self.stats.corrupt += 1
             self.stats.misses += 1
@@ -111,13 +114,13 @@ class ResultCache:
         return result
 
     # -- store -------------------------------------------------------------
-    def put(self, config: Jacobi3DConfig, result) -> bool:
+    def put(self, config: StencilConfig, result) -> bool:
         """Persist ``result``; returns False for uncacheable payloads
-        (functional mode, or non-:class:`Jacobi3DResult` values from custom
-        workers)."""
+        (functional mode, or values from custom workers that are not the
+        app's registered result class)."""
         if config.functional:
             return False
-        if not isinstance(result, Jacobi3DResult) or result.blocks is not None:
+        if not isinstance(result, spec_for(config).result_cls) or result.blocks is not None:
             return False
         key = config_key(config)
         path = self.root / key[:2] / f"{key}.json"

@@ -1,7 +1,7 @@
 """Declarative experiment plans.
 
 A figure, sweep, or benchmark is a *plan*: an ordered list of
-:class:`ExperimentPoint` jobs, each an independent, deterministic Jacobi3D
+:class:`ExperimentPoint` jobs, each an independent, deterministic app
 simulation plus the labels needed to place its result in a figure.  Plans
 decouple *what to run* from *how to run it* — the same plan executes
 serially, across a process pool, or straight out of the result cache
@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
 from ..analysis import FigureData
-from ..apps import Jacobi3DConfig
+from ..apps import StencilConfig
 
 __all__ = ["ExperimentPoint", "ExperimentPlan"]
 
@@ -36,7 +36,7 @@ class ExperimentPoint:
         (e.g. ``(("util", "gpu_utilization"),)``).
     """
 
-    config: Jacobi3DConfig
+    config: StencilConfig
     series: str = ""
     x: float = 0.0
     meta_fields: tuple = ()
@@ -54,7 +54,7 @@ class ExperimentPlan:
 
     def add(
         self,
-        config: Jacobi3DConfig,
+        config: StencilConfig,
         series: str = "",
         x: float = 0.0,
         meta_fields: Sequence[tuple] = (),
@@ -72,7 +72,7 @@ class ExperimentPlan:
     def __iter__(self) -> Iterator[ExperimentPoint]:
         return iter(self.points)
 
-    def configs(self) -> list[Jacobi3DConfig]:
+    def configs(self) -> list[StencilConfig]:
         return [p.config for p in self.points]
 
     def figure(self, results: Sequence, metric: str = "time_per_iteration") -> FigureData:

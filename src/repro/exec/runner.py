@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Optional, Sequence
 
-from ..apps import Jacobi3DConfig, run_jacobi3d
+from ..apps import StencilConfig, config_from_dict, run_app
 from .cache import ResultCache, config_key
 from .plan import ExperimentPlan, ExperimentPoint
 
@@ -52,9 +52,9 @@ class ExperimentTimeout(RuntimeError):
 
 
 def default_worker(config_dict: dict):
-    """Reconstruct the config and run the simulation (executes in worker
-    processes; must stay module-level so it pickles)."""
-    return run_jacobi3d(Jacobi3DConfig.from_dict(config_dict))
+    """Reconstruct the config (any registered app) and run the simulation
+    (executes in worker processes; must stay module-level so it pickles)."""
+    return run_app(config_from_dict(config_dict))
 
 
 def validating_worker(config_dict: dict):
@@ -63,7 +63,7 @@ def validating_worker(config_dict: dict):
     invariant breach instead of returning a silently-wrong result.
     Results are bit-identical to :func:`default_worker`'s (monitors are
     pure observers)."""
-    return run_jacobi3d(Jacobi3DConfig.from_dict(config_dict), validate=True)
+    return run_app(config_from_dict(config_dict), validate=True)
 
 
 def perf_worker(config_dict: dict):
@@ -72,7 +72,7 @@ def perf_worker(config_dict: dict):
     report next to the cached result."""
     from ..obs import collect_perf
 
-    result, report = collect_perf(Jacobi3DConfig.from_dict(config_dict))
+    result, report = collect_perf(config_from_dict(config_dict))
     return result, report.to_dict()
 
 
@@ -80,7 +80,7 @@ def perf_validating_worker(config_dict: dict):
     """:func:`perf_worker` with the invariant checker attached."""
     from ..obs import collect_perf
 
-    result, report = collect_perf(Jacobi3DConfig.from_dict(config_dict), validate=True)
+    result, report = collect_perf(config_from_dict(config_dict), validate=True)
     return result, report.to_dict()
 
 
@@ -192,7 +192,7 @@ class ParallelRunner:
         """All of ``plan``'s results, in plan order."""
         return self.run_points(plan.points, on_point=on_point)
 
-    def run_configs(self, configs: Sequence[Jacobi3DConfig],
+    def run_configs(self, configs: Sequence[StencilConfig],
                     on_point: Optional[ProgressFn] = None) -> list:
         """Plan-less convenience: results for bare configs, in order."""
         return self.run_points([ExperimentPoint(c) for c in configs], on_point=on_point)

@@ -1,4 +1,4 @@
-"""Jacobi3D numerics and GPU work models.
+"""Stencil numerics and GPU work models (dimension-generic).
 
 * :mod:`repro.kernels.jacobi` — functional NumPy stencil, pack/unpack.
 * :mod:`repro.kernels.costs` — roofline :class:`KernelWork` builders.
@@ -23,6 +23,8 @@ from .jacobi import (
     FACES,
     alloc_block,
     face_shape,
+    faces_for,
+    interior_slice,
     jacobi_update,
     opposite,
     pack_face,
@@ -31,6 +33,7 @@ from .jacobi import (
 )
 from .validation import (
     apply_boundary,
+    hot_edge_boundary,
     hot_top_boundary,
     max_principle_holds,
     reference_solve,
@@ -52,12 +55,15 @@ __all__ = [
     "FACES",
     "alloc_block",
     "face_shape",
+    "faces_for",
+    "interior_slice",
     "jacobi_update",
     "opposite",
     "pack_face",
     "residual",
     "unpack_face",
     "apply_boundary",
+    "hot_edge_boundary",
     "hot_top_boundary",
     "max_principle_holds",
     "reference_solve",

@@ -1,9 +1,12 @@
-"""Roofline work models for Jacobi3D's GPU kernels.
+"""Roofline work models for the stencil apps' GPU kernels.
 
 Translates block geometry into :class:`~repro.hardware.gpu.KernelWork`
-instances.  All kernels here are memory-bound on a V100 (the 7-point
-stencil runs ~6 flops per 16 bytes of traffic, far below the ~69
-flops/double-read the FP64 roofline would need).
+instances.  Dimensionality comes from the ``dims`` sequences themselves,
+so the same builders serve Jacobi3D and Jacobi2D (the ``2*ndim``-point
+stencil runs ``2*ndim`` flops per cell).  All kernels here are
+memory-bound on a V100 (the 7-point stencil runs ~6 flops per 16 bytes of
+traffic, far below the ~69 flops/double-read the FP64 roofline would
+need).
 """
 
 from __future__ import annotations
@@ -43,8 +46,17 @@ def _volume(dims: Sequence[int]) -> int:
 
 
 def _surface(dims: Sequence[int]) -> int:
-    x, y, z = (int(d) for d in dims)
-    return 2 * (x * y + y * z + x * z)
+    """Total exposed boundary of a block: two faces per axis, each the
+    product of the other dims (perimeter in 2D, surface area in 3D)."""
+    sizes = [int(d) for d in dims]
+    total = 0
+    for axis in range(len(sizes)):
+        face = 1
+        for a, d in enumerate(sizes):
+            if a != axis:
+                face *= d
+        total += 2 * face
+    return total
 
 
 # Boundary cells get no stencil reuse (their neighbour loads miss cache), so
@@ -59,11 +71,17 @@ def stencil_efficiency(dims: Sequence[int], beta: float = STENCIL_SURFACE_PENALT
     return vol / (vol + beta * _surface(dims))
 
 
+def _stencil_flops(dims: Sequence[int]) -> int:
+    """Flops per cell of the ``2*ndim``-point Jacobi sweep: ``2*ndim - 1``
+    adds plus one multiply (6 in 3D, 4 in 2D)."""
+    return 2 * len(dims)
+
+
 def update_work(dims: Sequence[int]) -> KernelWork:
     """The Jacobi sweep: read the input block once (neighbours hit cache),
-    write the output block once; 6 flops (5 adds + 1 multiply) per cell."""
+    write the output block once; ``2*ndim`` flops per cell."""
     vol = _volume(dims)
-    return KernelWork(bytes_moved=2 * DOUBLE * vol, flops=6 * vol,
+    return KernelWork(bytes_moved=2 * DOUBLE * vol, flops=_stencil_flops(dims) * vol,
                       efficiency=stencil_efficiency(dims))
 
 
@@ -98,7 +116,7 @@ def fused_all_work(dims: Sequence[int], face_cells: Iterable[int]) -> KernelWork
     halo = sum(int(c) for c in face_cells)
     return KernelWork(
         bytes_moved=2 * DOUBLE * (vol + 2 * halo),
-        flops=6 * vol,
+        flops=_stencil_flops(dims) * vol,
         efficiency=FUSED_ALL_EFFICIENCY * stencil_efficiency(dims),
     )
 
@@ -107,10 +125,12 @@ def interior_work(dims: Sequence[int]) -> KernelWork:
     """Manual-overlap variant: update cells not touching any ghost layer."""
     inner = [max(0, int(d) - 2) for d in dims]
     vol = _volume(inner)
-    return KernelWork(bytes_moved=max(1, 2 * DOUBLE * vol), flops=6 * vol)
+    return KernelWork(bytes_moved=max(1, 2 * DOUBLE * vol),
+                      flops=_stencil_flops(dims) * vol)
 
 
 def exterior_work(dims: Sequence[int]) -> KernelWork:
     """Manual-overlap variant: the shell of cells adjacent to ghosts."""
     vol = _volume(dims) - _volume([max(0, int(d) - 2) for d in dims])
-    return KernelWork(bytes_moved=max(1, 2 * DOUBLE * vol), flops=6 * vol)
+    return KernelWork(bytes_moved=max(1, 2 * DOUBLE * vol),
+                      flops=_stencil_flops(dims) * vol)

@@ -1,32 +1,41 @@
-"""Functional Jacobi numerics (NumPy, vectorized).
+"""Functional Jacobi numerics (NumPy, vectorized), dimension-generic.
 
 A block is stored with one ghost layer on every side: interior shape
-``(nx, ny, nz)`` inside an array of shape ``(nx+2, ny+2, nz+2)``.  The
-update is the classic 6-point Jacobi relaxation for Laplace's equation:
+``(n1, ..., nd)`` inside an array of shape ``(n1+2, ..., nd+2)``.  The
+update is the classic ``2d``-point Jacobi relaxation for Laplace's
+equation — in 3D:
 
     u'[i,j,k] = (u[i±1,j,k] + u[i,j±1,k] + u[i,j,k±1]) / 6
 
-All face/pack/unpack helpers use the same face naming as the performance
-model: a face is ``(axis, side)`` with ``axis`` in {0,1,2} and ``side`` in
-{-1,+1}.
+and in 2D the 5-point analogue with a ``/ 4`` average.  Dimensionality is
+inferred from the arrays themselves, so the same helpers serve every
+registered stencil app (:mod:`repro.apps.stencil`).
 
-Determinism note: the sum is evaluated in a fixed operand order, so a
-distributed run (any decomposition, any message timing) produces grids
-*bit-identical* to the serial reference — the integration tests rely on
-this to prove the runtime exchanges the right bytes at the right
-iterations.
+All face/pack/unpack helpers use the same face naming as the performance
+model: a face is ``(axis, side)`` with ``axis`` in ``range(ndim)`` and
+``side`` in {-1,+1}; :func:`faces_for` enumerates them in the canonical
+order (:data:`FACES` is the 3D instance).
+
+Determinism note: the sum is evaluated in a fixed operand order (axis 0
+low face, axis 0 high face, axis 1 low, ...), so a distributed run (any
+decomposition, any message timing) produces grids *bit-identical* to the
+serial reference — the integration tests rely on this to prove the runtime
+exchanges the right bytes at the right iterations.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Iterable, Optional
 
 import numpy as np
 
 __all__ = [
     "FACES",
+    "faces_for",
     "opposite",
     "alloc_block",
+    "interior_slice",
     "jacobi_update",
     "pack_face",
     "unpack_face",
@@ -34,8 +43,18 @@ __all__ = [
     "residual",
 ]
 
+
+@lru_cache(maxsize=None)
+def faces_for(ndim: int) -> tuple[tuple[int, int], ...]:
+    """The canonical face order for ``ndim`` dimensions: axis-major, low
+    side before high side."""
+    if ndim < 1:
+        raise ValueError("ndim must be >= 1")
+    return tuple((axis, side) for axis in range(ndim) for side in (-1, 1))
+
+
 # (axis, side): side -1 is the low-coordinate face, +1 the high one.
-FACES: tuple[tuple[int, int], ...] = ((0, -1), (0, 1), (1, -1), (1, 1), (2, -1), (2, 1))
+FACES: tuple[tuple[int, int], ...] = faces_for(3)
 
 
 def opposite(face: tuple[int, int]) -> tuple[int, int]:
@@ -52,32 +71,46 @@ def alloc_block(interior_shape: Iterable[int], fill: float = 0.0) -> np.ndarray:
     return np.full(shape, fill, dtype=np.float64)
 
 
+def interior_slice(ndim: int) -> tuple:
+    """Index tuple selecting the interior of a ghosted block."""
+    return (slice(1, -1),) * ndim
+
+
 def jacobi_update(u: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
     """One Jacobi sweep over the interior; ghosts are read, never written.
 
-    Returns ``out`` (allocated if omitted).  Fixed evaluation order keeps
-    results bit-identical across decompositions.
+    Returns ``out`` (allocated if omitted).  Fixed evaluation order —
+    axis 0 low, axis 0 high, axis 1 low, ... — keeps results bit-identical
+    across decompositions and dimensionalities.
     """
     if out is None:
         out = np.empty_like(u)
         out[...] = u
-    acc = u[:-2, 1:-1, 1:-1].copy()
-    acc += u[2:, 1:-1, 1:-1]
-    acc += u[1:-1, :-2, 1:-1]
-    acc += u[1:-1, 2:, 1:-1]
-    acc += u[1:-1, 1:-1, :-2]
-    acc += u[1:-1, 1:-1, 2:]
-    acc *= 1.0 / 6.0
-    out[1:-1, 1:-1, 1:-1] = acc
+    ndim = u.ndim
+    inner = interior_slice(ndim)
+
+    def shifted(axis: int, side: int):
+        idx = list(inner)
+        idx[axis] = slice(None, -2) if side < 0 else slice(2, None)
+        return u[tuple(idx)]
+
+    acc = shifted(0, -1).copy()
+    acc += shifted(0, 1)
+    for axis in range(1, ndim):
+        acc += shifted(axis, -1)
+        acc += shifted(axis, 1)
+    acc *= 1.0 / (2 * ndim)
+    out[inner] = acc
     return out
 
 
 def _face_slices(u_shape: tuple[int, ...], face: tuple[int, int], ghost: bool):
     """Index tuple selecting the face layer (ghost or first-interior)."""
+    ndim = len(u_shape)
     axis, side = face
-    if axis not in (0, 1, 2) or side not in (-1, 1):
+    if not 0 <= axis < ndim or side not in (-1, 1):
         raise ValueError(f"bad face {face}")
-    idx: list = [slice(1, -1)] * 3
+    idx: list = [slice(1, -1)] * ndim
     if ghost:
         idx[axis] = 0 if side < 0 else u_shape[axis] - 1
     else:
@@ -98,15 +131,16 @@ def unpack_face(u: np.ndarray, face: tuple[int, int], data: np.ndarray) -> None:
     target[...] = data
 
 
-def face_shape(interior_shape: Iterable[int], face: tuple[int, int]) -> tuple[int, int]:
+def face_shape(interior_shape: Iterable[int], face: tuple[int, int]) -> tuple:
     """Interior cross-section of a face (the halo message shape)."""
     axis, _ = face
     dims = [int(s) for s in interior_shape]
     del dims[axis]
-    return tuple(dims)  # type: ignore[return-value]
+    return tuple(dims)
 
 
 def residual(u: np.ndarray) -> float:
     """Max-norm Jacobi residual of the interior (0 when converged)."""
+    inner = interior_slice(u.ndim)
     nxt = jacobi_update(u)
-    return float(np.max(np.abs(nxt[1:-1, 1:-1, 1:-1] - u[1:-1, 1:-1, 1:-1])))
+    return float(np.max(np.abs(nxt[inner] - u[inner])))

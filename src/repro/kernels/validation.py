@@ -1,4 +1,10 @@
-"""Validation helpers: serial reference solver and analytic checks."""
+"""Validation helpers: serial reference solver and analytic checks.
+
+Dimension-generic: :func:`apply_boundary` and :func:`reference_solve` infer
+the dimensionality from ``global_shape``, so the same machinery drives both
+the 3D and the 2D stencil apps.  Boundary functions receive one global
+ghost-array coordinate per axis plus the global shape.
+"""
 
 from __future__ import annotations
 
@@ -6,10 +12,11 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from .jacobi import alloc_block, jacobi_update
+from .jacobi import alloc_block, faces_for, interior_slice, jacobi_update
 
 __all__ = [
     "hot_top_boundary",
+    "hot_edge_boundary",
     "apply_boundary",
     "reference_solve",
     "max_principle_holds",
@@ -17,47 +24,59 @@ __all__ = [
 
 
 def hot_top_boundary(x: int, y: int, z: int, shape: tuple[int, int, int]) -> float:
-    """The canonical test problem: u = 1 on the global +x ghost face, 0 on
-    the other five.  Arguments are *global ghost-array* coordinates."""
+    """The canonical 3D test problem: u = 1 on the global +x ghost face, 0
+    on the other five.  Arguments are *global ghost-array* coordinates."""
     return 1.0 if x == shape[0] + 1 else 0.0
 
 
-BoundaryFn = Callable[[int, int, int, tuple], float]
+def hot_edge_boundary(x: int, y: int, shape: tuple[int, int]) -> float:
+    """The canonical 2D test problem: u = 1 on the global +x ghost edge, 0
+    on the other three.  Arguments are *global ghost-array* coordinates."""
+    return 1.0 if x == shape[0] + 1 else 0.0
+
+
+BoundaryFn = Callable[..., float]
 
 
 def apply_boundary(u: np.ndarray, boundary: BoundaryFn, global_shape: tuple,
-                   offset: tuple = (0, 0, 0)) -> None:
+                   offset: Optional[tuple] = None) -> None:
     """Fill the ghost layers of ``u`` that lie on the *global* domain
     boundary using ``boundary``; interior-facing ghosts are left alone.
 
-    ``offset`` is the global coordinate of this block's (0,0,0) ghost cell,
-    so the same function initializes both the serial reference grid and
-    every distributed block consistently.
+    ``offset`` is the global coordinate of this block's all-zeros ghost
+    cell, so the same function initializes both the serial reference grid
+    and every distributed block consistently.
     """
-    gx, gy, gz = global_shape
-    for axis, side in ((0, -1), (0, 1), (1, -1), (1, 1), (2, -1), (2, 1)):
+    ndim = len(global_shape)
+    if offset is None:
+        offset = (0,) * ndim
+    for axis, side in faces_for(ndim):
         layer_global = 0 if side < 0 else global_shape[axis] + 1
         layer_local = layer_global - offset[axis]
         if not 0 <= layer_local < u.shape[axis]:
             continue  # this block does not touch that global face
-        idx: list = [slice(None)] * 3
+        idx: list = [slice(None)] * ndim
         idx[axis] = layer_local
         view = u[tuple(idx)]
         coords = np.meshgrid(
-            *[np.arange(u.shape[a]) + offset[a] for a in range(3) if a != axis],
+            *[np.arange(u.shape[a]) + offset[a] for a in range(ndim) if a != axis],
             indexing="ij",
         )
         full = []
         ci = iter(coords)
-        for a in range(3):
+        for a in range(ndim):
             full.append(np.full(view.shape, layer_global) if a == axis else next(ci))
-        vals = np.vectorize(lambda X, Y, Z: boundary(X, Y, Z, global_shape))(*full)
+        vals = np.vectorize(lambda *cs: boundary(*cs, global_shape))(*full)
         view[...] = vals
 
 
 def reference_solve(global_shape: tuple, iterations: int,
-                    boundary: BoundaryFn = hot_top_boundary) -> np.ndarray:
-    """Serial Jacobi on the whole grid — ground truth for distributed runs."""
+                    boundary: Optional[BoundaryFn] = None) -> np.ndarray:
+    """Serial Jacobi on the whole grid — ground truth for distributed runs.
+    The default boundary is the canonical hot-face problem for the grid's
+    dimensionality."""
+    if boundary is None:
+        boundary = hot_top_boundary if len(global_shape) == 3 else hot_edge_boundary
     u = alloc_block(global_shape)
     apply_boundary(u, boundary, global_shape)
     out = u.copy()
@@ -70,12 +89,14 @@ def reference_solve(global_shape: tuple, iterations: int,
 def max_principle_holds(u: np.ndarray) -> bool:
     """Discrete maximum principle: interior values stay within the range of
     the boundary data — a cheap invariant for property tests."""
-    interior = u[1:-1, 1:-1, 1:-1]
-    boundary_vals = np.concatenate([
-        u[0, :, :].ravel(), u[-1, :, :].ravel(),
-        u[:, 0, :].ravel(), u[:, -1, :].ravel(),
-        u[:, :, 0].ravel(), u[:, :, -1].ravel(),
-    ])
-    lo, hi = boundary_vals.min(), boundary_vals.max()
+    interior = u[interior_slice(u.ndim)]
+    boundary_vals = []
+    for axis in range(u.ndim):
+        for layer in (0, -1):
+            idx: list = [slice(None)] * u.ndim
+            idx[axis] = layer
+            boundary_vals.append(u[tuple(idx)].ravel())
+    vals = np.concatenate(boundary_vals)
+    lo, hi = vals.min(), vals.max()
     eps = 1e-12
     return bool(interior.min() >= lo - eps and interior.max() <= hi + eps)

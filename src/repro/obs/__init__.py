@@ -27,9 +27,7 @@ from .report import (
     extract_comparable,
 )
 from .timeline import (
-    PHASES,
     ResourceUsage,
-    classify_op,
     compute_comm_overlap,
     gpu_compute_spans,
     iteration_boundaries,
@@ -38,6 +36,16 @@ from .timeline import (
     phase_intervals,
     resource_usage,
 )
+
+
+def __getattr__(name: str):
+    # PHASES / classify_op are the stencil core's declaration, resolved
+    # lazily so importing repro.obs never pulls in the application stack.
+    if name in ("PHASES", "classify_op"):
+        from . import timeline
+
+        return getattr(timeline, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "MAX_SERIES",

@@ -33,7 +33,7 @@ from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from ..sim import Tracer, merge_intervals
-from .timeline import classify_op
+from .timeline import _stencil_phase_decl
 
 __all__ = ["PathSegment", "CriticalPath", "collect_segments", "critical_path"]
 
@@ -107,15 +107,18 @@ class CriticalPath:
 # ---------------------------------------------------------------------------
 
 
-def collect_segments(cluster, tracer: Optional[Tracer] = None) -> list[tuple[float, float, str]]:
+def collect_segments(cluster, tracer: Optional[Tracer] = None,
+                     classify=None) -> list[tuple[float, float, str]]:
     """Every recorded activity interval of a run as ``(start, end, category)``.
 
     PE-core busy time and the network in-flight tracker come from the
     cluster's interval trackers; GPU activity comes from the trace when one
-    was attached (phase-classified per operation: pack/d2h/h2d/unpack/
-    update) and falls back to the per-engine trackers (category
-    ``gpu.<engine>``) otherwise.
+    was attached (phase-classified per operation through ``classify``, the
+    app's trace classifier — default: the stencil declaration) and falls
+    back to the per-engine trackers (category ``gpu.<engine>``) otherwise.
     """
+    if classify is None:
+        classify = _stencil_phase_decl()[1]
     segments: list[tuple[float, float, str]] = []
     for pe in cluster.all_pes():
         segments.extend((a, b, "pe") for a, b in pe.busy.spans)
@@ -129,7 +132,7 @@ def collect_segments(cluster, tracer: Optional[Tracer] = None) -> list[tuple[flo
             if duration is None:
                 continue
             start = float(rec.data.get("start", rec.time))
-            phase = classify_op(rec.category, str(rec.data.get("op", "")))
+            phase = classify(rec.category, str(rec.data.get("op", "")))
             segments.append((start, start + float(duration), phase))
             traced_gpu = True
     if not traced_gpu:

@@ -1,11 +1,11 @@
 """Perf reports: collection, rendering, persistence, and the regression gate.
 
 :class:`Observatory` bundles the tracer and the metrics registry into one
-attachable probe; :func:`run_jacobi3d(config, observatory=obs)
-<repro.apps.jacobi3d.driver.run_jacobi3d>` wires it into a run, and
-``obs.report(result)`` then answers the paper's evaluation questions in one
-object: per-resource utilization, per-iteration phase attribution, the
-critical path, overlap, and the counter catalogue.
+attachable probe; :func:`run_app(config, observatory=obs)
+<repro.apps.driver.run_app>` wires it into a run, and ``obs.report(result)``
+then answers the paper's evaluation questions in one object: per-resource
+utilization, per-iteration phase attribution (in the app's declared phase
+vocabulary), the critical path, overlap, and the counter catalogue.
 
 Reports serialize to JSON (``save``/``load``), render as text or a
 self-contained HTML page, and feed the perf-regression gate:
@@ -25,7 +25,7 @@ from typing import Optional
 from ..sim import Tracer, to_chrome_trace
 from .critpath import collect_segments, critical_path
 from .metrics import MetricsRegistry
-from .timeline import PHASES, per_iteration_phases, phase_breakdown, resource_usage
+from .timeline import per_iteration_phases, phase_breakdown, resource_usage
 
 __all__ = [
     "Observatory",
@@ -42,10 +42,11 @@ __all__ = [
 class Observatory:
     """One run's observability probe: a tracer plus a metrics registry.
 
-    Pass to :func:`~repro.apps.jacobi3d.driver.run_jacobi3d` via
-    ``observatory=``; the driver calls :meth:`begin` once the engine and
-    cluster exist.  After the run, :meth:`report` produces the
-    :class:`PerfReport` and :meth:`chrome_trace` the Perfetto timeline.
+    Pass to :func:`~repro.apps.driver.run_app` via ``observatory=``; the
+    driver calls :meth:`begin` once the engine and cluster exist.  After
+    the run, :meth:`report` produces the :class:`PerfReport` (phase
+    attribution in the app's declared vocabulary) and :meth:`chrome_trace`
+    the Perfetto timeline.
     """
 
     def __init__(self, categories=None, include_metrics: bool = True):
@@ -70,10 +71,14 @@ class Observatory:
         """Build the full perf report for a finished run."""
         if self.engine is None or self.cluster is None:
             raise RuntimeError("Observatory.report() before the run (begin was never called)")
+        from ..apps import spec_for
+
+        spec = spec_for(result.config)
         t_end = self.engine.now
         t_warm = result.warmup_boundary
-        path = critical_path(collect_segments(self.cluster, self.tracer),
-                             t_start=0.0, t_end=t_end)
+        path = critical_path(
+            collect_segments(self.cluster, self.tracer, classify=spec.classify_op),
+            t_start=0.0, t_end=t_end)
         return PerfReport(
             config=result.config.to_dict(),
             makespan=t_end,
@@ -82,8 +87,10 @@ class Observatory:
             overlap_s=result.overlap_s,
             gpu_utilization=result.gpu_utilization,
             resources=[r.to_dict() for r in resource_usage(self.cluster, t_warm, t_end)],
-            phases=phase_breakdown(self.tracer, 0.0, t_end),
-            iterations=per_iteration_phases(self.tracer),
+            phases=phase_breakdown(self.tracer, 0.0, t_end,
+                                   phases=spec.phases, classify=spec.classify_op),
+            iterations=per_iteration_phases(self.tracer, phases=spec.phases,
+                                            classify=spec.classify_op),
             critical_path=path.to_dict(),
             counters=self.registry.scalar_totals(),
             metrics=self.registry.snapshot() if self.include_metrics else None,
@@ -94,10 +101,10 @@ def collect_perf(config, validate: bool = False):
     """Run one config under a fresh :class:`Observatory`; returns
     ``(result, report)``.  (App import is lazy: ``repro.obs`` stays
     importable without the application stack.)"""
-    from ..apps import run_jacobi3d
+    from ..apps import run_app
 
     obs = Observatory()
-    result = run_jacobi3d(config, validate=validate, observatory=obs)
+    result = run_app(config, validate=validate, observatory=obs)
     return result, obs.report(result)
 
 
@@ -174,6 +181,24 @@ class PerfReport:
         }
 
     # -- rendering ---------------------------------------------------------
+    def _phase_order(self) -> list:
+        """The report's phases in the app's declared (pipeline) order.
+
+        Fresh reports store phases in declared order already; JSON
+        round-trips sort the keys, so look the order up again from the
+        registry when the config names a registered app."""
+        order = list(self.phases)
+        app = (self.config or {}).get("app")
+        if app:
+            try:
+                from ..apps import get_app
+
+                declared = [p for p in get_app(app).phases if p in self.phases]
+            except ValueError:
+                declared = []
+            order = declared + [p for p in order if p not in declared]
+        return order
+
     def _resource_rollup(self) -> list[tuple[str, int, float, float]]:
         """(kind, count, mean util, max util) per resource kind."""
         by_kind: dict[str, list[float]] = {}
@@ -200,7 +225,7 @@ class PerfReport:
             lines.append(f"    {kind:14s} x{count:<4d} mean {mean * 100:5.1f}%  "
                          f"max {peak * 100:5.1f}%")
         lines.append("  phase footprint (whole run):")
-        for phase in PHASES:
+        for phase in self._phase_order():
             secs = self.phases.get(phase, 0.0)
             if secs > 0:
                 lines.append(f"    {phase:8s} {secs * 1e3:10.3f} ms")
@@ -241,7 +266,7 @@ class PerfReport:
                         f"<td>{peak * 100:.1f}%</td></tr>")
         phase_rows = []
         phase_total = sum(self.phases.values()) or 1.0
-        for phase in PHASES:
+        for phase in self._phase_order():
             secs = self.phases.get(phase, 0.0)
             if secs > 0:
                 phase_rows.append(f"<tr><td>{phase}</td><td>{secs * 1e3:.3f} ms</td>"

@@ -5,9 +5,14 @@ a finished run's cluster (interval trackers) and optional trace, answer
 
 * **where did the time go per resource** — busy/idle/utilization for every
   PE core, every GPU engine (compute, D2H, H2D, D2D), and the network;
-* **what was each iteration spent on** — pack / D2H / NIC / H2D / unpack /
-  update attribution, computed from trace intervals and the per-iteration
-  ``app.iter_done`` markers the driver emits;
+* **what was each iteration spent on** — per-phase attribution, computed
+  from trace intervals and the per-iteration ``app.iter_done`` markers the
+  driver emits.  The phase vocabulary is *app-declared*: every analysis
+  function takes ``phases`` (display-ordered tuple) and ``classify``
+  (``(category, op_name) -> phase``), normally supplied from the app's
+  :class:`~repro.apps.registry.AppSpec`; they default to the shared stencil
+  core's declaration, which is also re-exported here as the historical
+  module attributes ``PHASES`` and ``classify_op``;
 * **did overlap happen** — the quantitative computation/communication
   overlap definition shared by the driver, tests, and reports
   (:func:`compute_comm_overlap` is the single implementation; call sites
@@ -35,10 +40,22 @@ __all__ = [
     "resource_usage",
 ]
 
-#: The per-iteration cost phases of a halo-exchange iteration, in pipeline
-#: order (paper Figs. 3-5): produce halos, stage them down, move them,
-#: stage them up, consume them, update.
-PHASES = ("pack", "d2h", "nic", "h2d", "unpack", "update", "other")
+
+def _stencil_phase_decl():
+    """The stencil core's phase declaration — the default vocabulary and
+    the back-compat ``PHASES``/``classify_op`` module attributes.  Imported
+    lazily so :mod:`repro.obs` stays importable without the app stack."""
+    from ..apps.stencil.phases import STENCIL_PHASES, classify_stencil_op
+
+    return STENCIL_PHASES, classify_stencil_op
+
+
+def __getattr__(name: str):
+    if name == "PHASES":
+        return _stencil_phase_decl()[0]
+    if name == "classify_op":
+        return _stencil_phase_decl()[1]
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True)
@@ -115,56 +132,39 @@ def compute_comm_overlap(cluster) -> float:
 # ---------------------------------------------------------------------------
 
 
-def classify_op(category: str, op_name: str) -> str:
-    """Map one traced operation to its cost phase.
-
-    GPU copy engines map directly (D2H/H2D); D2D copies are the transport
-    leg of same-device IPC sends and count as ``nic``.  Compute-kernel
-    names follow the app conventions (``pack*``, ``unpack*``, ``update`` /
-    ``interior`` / ``exterior`` / ``fused*``), with the ``graph.`` prefix
-    of CUDA-graph nodes stripped first.
-    """
-    if category.startswith("gpu.copy_d2h"):
-        return "d2h"
-    if category.startswith("gpu.copy_h2d"):
-        return "h2d"
-    if category.startswith("gpu.copy_d2d"):
-        return "nic"
-    if category.startswith("net."):
-        return "nic"
-    if category.startswith("gpu.compute"):
-        name = op_name
-        if name.startswith("graph."):
-            name = name[len("graph."):]
-        if name.startswith("pack"):
-            return "pack"
-        if name.startswith("unpack"):
-            return "unpack"
-        if name.startswith(("update", "interior", "exterior", "fused")):
-            return "update"
-        return "other"
-    return "other"
+def _resolve_phase_decl(phases, classify):
+    if phases is None or classify is None:
+        default_phases, default_classify = _stencil_phase_decl()
+        phases = default_phases if phases is None else phases
+        classify = default_classify if classify is None else classify
+    return phases, classify
 
 
-def phase_intervals(tracer: Tracer) -> dict[str, list[tuple[float, float]]]:
+def phase_intervals(tracer: Tracer, phases=None,
+                    classify=None) -> dict[str, list[tuple[float, float]]]:
     """Raw (unmerged) busy intervals per phase from a run's trace.
 
     Uses the duration-carrying ``gpu.*`` records and the ``net.deliver``
     records (whose ``latency`` payload reconstructs the in-flight window).
+    ``phases``/``classify`` come from the app's spec; default: the stencil
+    declaration.  Network in-flight windows land in ``nic`` when the
+    vocabulary declares it, else in the last phase (the catch-all).
     """
-    out: dict[str, list[tuple[float, float]]] = {phase: [] for phase in PHASES}
+    phases, classify = _resolve_phase_decl(phases, classify)
+    out: dict[str, list[tuple[float, float]]] = {phase: [] for phase in phases}
+    net_phase = "nic" if "nic" in out else phases[-1]
     for rec in tracer.records:
         if rec.category.startswith("gpu."):
             duration = rec.data.get("duration")
             if duration is None:
                 continue
             start = rec.data.get("start", rec.time)
-            phase = classify_op(rec.category, str(rec.data.get("op", "")))
+            phase = classify(rec.category, str(rec.data.get("op", "")))
             out[phase].append((start, start + float(duration)))
         elif rec.category == "net.deliver":
             latency = float(rec.data.get("latency", 0.0))
             if latency > 0.0:
-                out["nic"].append((rec.time - latency, rec.time))
+                out[net_phase].append((rec.time - latency, rec.time))
     return out
 
 
@@ -178,12 +178,13 @@ def _clipped_busy(spans: list[tuple[float, float]], t0: float, t1: float) -> flo
 
 
 def phase_breakdown(tracer: Tracer, t0: float = 0.0,
-                    t1: Optional[float] = None) -> dict[str, float]:
+                    t1: Optional[float] = None, phases=None,
+                    classify=None) -> dict[str, float]:
     """Busy seconds per phase within ``[t0, t1]`` (union per phase, so
     concurrent same-phase work on different devices counts once per unit
     of wall-clock — the *footprint* of the phase, matching how an Nsight
     timeline reads)."""
-    intervals = phase_intervals(tracer)
+    intervals = phase_intervals(tracer, phases, classify)
     if t1 is None:
         t1 = max((b for spans in intervals.values() for _, b in spans), default=t0)
     return {phase: _clipped_busy(spans, t0, t1) for phase, spans in intervals.items()}
@@ -202,7 +203,7 @@ def iteration_boundaries(tracer: Tracer) -> list[float]:
     return [latest[it] for it in sorted(latest)]
 
 
-def per_iteration_phases(tracer: Tracer) -> list[dict]:
+def per_iteration_phases(tracer: Tracer, phases=None, classify=None) -> list[dict]:
     """Phase attribution per iteration window.
 
     Iteration ``i``'s window runs from the previous iteration's boundary
@@ -213,7 +214,7 @@ def per_iteration_phases(tracer: Tracer) -> list[dict]:
     boundaries = iteration_boundaries(tracer)
     if not boundaries:
         return []
-    intervals = phase_intervals(tracer)
+    intervals = phase_intervals(tracer, phases, classify)
     out = []
     t_prev = 0.0
     for i, t_end in enumerate(boundaries):

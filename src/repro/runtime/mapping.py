@@ -12,7 +12,8 @@ from __future__ import annotations
 import itertools
 from typing import Sequence
 
-__all__ = ["linearize", "all_indices", "block_map", "round_robin_map", "make_mapping"]
+__all__ = ["linearize", "delinearize", "all_indices", "block_map", "round_robin_map",
+           "make_mapping"]
 
 
 def all_indices(shape: Sequence[int]) -> list[tuple]:
@@ -30,6 +31,20 @@ def linearize(index: Sequence[int], shape: Sequence[int]) -> int:
             raise IndexError(f"index {index} out of bounds for shape {shape}")
         rank = rank * s + x
     return rank
+
+
+def delinearize(rank: int, shape: Sequence[int]) -> tuple:
+    """Inverse of :func:`linearize`: the index tuple of row-major ``rank``."""
+    total = 1
+    for s in shape:
+        total *= s
+    if not 0 <= rank < total:
+        raise IndexError(f"rank {rank} out of bounds for shape {shape}")
+    out = []
+    for s in reversed(tuple(shape)):
+        rank, r = divmod(rank, s)
+        out.append(r)
+    return tuple(reversed(out))
 
 
 def block_map(shape: Sequence[int], n_pes: int) -> dict[tuple, int]:

@@ -1,19 +1,22 @@
 """Cross-backend differential validation.
 
-One physical problem, many execution paths: the Charm++, AMPI and plain-MPI
-Jacobi3D frontends differ in decomposition (overdecomposition vs. one block
-per rank), scheduling (suspending chares vs. spinning CPUs), communication
-protocol (host staging vs. GPUDirect vs. device IPC), kernel organisation
-(fusion strategies A/B/C, CUDA graphs) — yet they integrate the *same*
-PDE.  Because the functional kernels use a fixed operand order and the
-residual combiner is an exact ``max`` (:class:`~repro.apps.jacobi3d.context.
-ResidualHistory`), every path must produce **bitwise identical** residual
-histories and final grids.  Any drift — a halo applied twice, an iteration
-skipped, a mis-tagged message — shows up as a first differing iteration.
+One physical problem, many execution paths: an app's Charm++, AMPI and
+plain-MPI frontends differ in decomposition (overdecomposition vs. one
+block per rank), scheduling (suspending chares vs. spinning CPUs),
+communication protocol (host staging vs. GPUDirect vs. device IPC), kernel
+organisation (fusion strategies A/B/C, CUDA graphs) — yet they integrate
+the *same* PDE.  Because the functional kernels use a fixed operand order
+and the residual combiner is an exact ``max`` (:class:`~repro.apps.stencil.
+context.ResidualHistory`), every path must produce **bitwise identical**
+residual histories and final grids.  Any drift — a halo applied twice, an
+iteration skipped, a mis-tagged message — shows up as a first differing
+iteration.
 
-Every case also runs with the :class:`~repro.validate.invariants.
-InvariantChecker` attached, so scheduling-level breakage is caught even
-when the physics happens to survive it.
+The matrix runs for any registered app (each :class:`~repro.apps.registry.
+AppSpec` contributes its ``differential_base``); every case also runs with
+the :class:`~repro.validate.invariants.InvariantChecker` attached, so
+scheduling-level breakage is caught even when the physics happens to
+survive it.
 """
 
 from __future__ import annotations
@@ -24,8 +27,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..apps.jacobi3d import Jacobi3DConfig, run_jacobi3d
-from ..hardware.specs import MachineSpec
+from ..apps import StencilConfig, get_app, run_app
 
 __all__ = [
     "CaseDiff",
@@ -66,7 +68,7 @@ class CaseDiff:
     """One matrix case compared against the reference run."""
 
     label: str
-    config: Jacobi3DConfig
+    config: StencilConfig
     ok: bool
     iterations: int
     first_diff_iteration: Optional[int] = None
@@ -101,24 +103,15 @@ class DifferentialReport:
         return f"{head}\n{lines}"
 
 
-def default_base() -> Jacobi3DConfig:
-    """A functional-mode problem small enough to run the full matrix in
-    seconds, large enough that every block has interior cells and real
-    halo traffic on all six faces."""
-    return Jacobi3DConfig(
-        version="charm-d",
-        nodes=1,
-        grid=(16, 16, 16),
-        odf=2,
-        iterations=4,
-        warmup=1,
-        data_mode="functional",
-        machine=MachineSpec.small_debug(),
-    )
+def default_base(app: str = "jacobi3d") -> StencilConfig:
+    """The registered app's functional-mode base problem: small enough to
+    run the full matrix in seconds, large enough that every block has
+    interior cells and real halo traffic on every face."""
+    return get_app(app).differential_base()
 
 
-def default_matrix(base: Jacobi3DConfig,
-                   quick: bool = False) -> list[tuple[str, Jacobi3DConfig]]:
+def default_matrix(base: StencilConfig,
+                   quick: bool = False) -> list[tuple[str, StencilConfig]]:
     """The comparison cases for ``base``.  The first entry is the
     reference (charm-d, the paper's best version).  ``quick`` keeps only
     the cross-runtime cases; the full matrix adds fusion A/B/C and CUDA
@@ -144,20 +137,22 @@ def default_matrix(base: Jacobi3DConfig,
 
 
 def run_differential_matrix(
-    base: Optional[Jacobi3DConfig] = None,
-    cases: Optional[list[tuple[str, Jacobi3DConfig]]] = None,
+    base: Optional[StencilConfig] = None,
+    cases: Optional[list[tuple[str, StencilConfig]]] = None,
     quick: bool = False,
     validate: bool = True,
     progress=None,
+    app: str = "jacobi3d",
 ) -> DifferentialReport:
     """Run every case and compare residual histories + final grids bitwise
     against the first case (the reference).
 
-    ``progress`` (optional): ``fn(label, case_diff_or_None)`` called before
-    (with ``None``) and after each case.
+    ``app`` selects the registered app's base problem when ``base`` is not
+    given.  ``progress`` (optional): ``fn(label, case_diff_or_None)`` called
+    before (with ``None``) and after each case.
     """
     if base is None:
-        base = default_base()
+        base = default_base(app)
     if not base.functional:
         raise ValueError("the differential matrix needs data_mode='functional'")
     if cases is None:
@@ -169,7 +164,7 @@ def run_differential_matrix(
     for label, config in cases:
         if progress is not None:
             progress(label, None)
-        result = run_jacobi3d(config, validate=validate)
+        result = run_app(config, validate=validate)
         grid = result.assemble_grid(_geometry_of(config))
         if reference is None:
             reference = result
@@ -183,7 +178,7 @@ def run_differential_matrix(
     return report
 
 
-def _geometry_of(config: Jacobi3DConfig):
+def _geometry_of(config: StencilConfig):
     from ..apps.decomposition import BlockGeometry
 
     return BlockGeometry.auto(config.n_blocks(), config.grid)

@@ -8,6 +8,10 @@ changed — the strongest regression signal available short of diffing whole
 traces.  When a change is intentional (a new optimisation, a model-version
 bump), refresh with ``repro validate --update-golden``.
 
+Every registered app contributes its canonical configs (its
+:class:`~repro.apps.registry.AppSpec`'s ``golden_configs``); names must be
+unique across apps, so newer apps prefix theirs (``jacobi2d-charm-d``).
+
 Golden entries record the :data:`~repro.exec.cache.MODEL_VERSION` they were
 taken at; entries from another model version are reported as stale rather
 than failed.
@@ -20,14 +24,14 @@ import json
 from pathlib import Path
 from typing import Optional
 
-from ..apps.jacobi3d import Jacobi3DConfig, run_jacobi3d
+from ..apps import app_names, config_from_dict, get_app, run_app
 from ..exec.cache import MODEL_VERSION, config_key
-from ..hardware.specs import MachineSpec
 from ..sim import Tracer
 
 __all__ = [
     "CANONICAL_CONFIGS",
     "GoldenStore",
+    "canonical_configs",
     "default_golden_dir",
     "golden_entry",
     "golden_worker",
@@ -40,29 +44,22 @@ def default_golden_dir() -> Path:
     return Path(__file__).resolve().parents[3] / "tests" / "golden"
 
 
-def _small() -> MachineSpec:
-    return MachineSpec.small_debug()
+def canonical_configs(app: Optional[str] = None) -> dict:
+    """``name -> config`` for one registered app, or merged across all of
+    them (names must not collide across apps)."""
+    merged: dict = {}
+    for name in [app] if app is not None else app_names():
+        for key, config in get_app(name).golden_configs().items():
+            if key in merged:
+                raise ValueError(
+                    f"golden config name {key!r} is claimed by two apps"
+                )
+            merged[key] = config
+    return merged
 
 
-def _canonical() -> dict[str, Jacobi3DConfig]:
-    base = Jacobi3DConfig(
-        nodes=1, grid=(48, 48, 48), odf=2, iterations=4, warmup=1,
-        machine=_small(),
-    )
-    return {
-        "charm-d": base.with_(version="charm-d"),
-        "charm-h": base.with_(version="charm-h"),
-        "ampi-d": base.with_(version="ampi-d"),
-        "mpi-d": base.with_(version="mpi-d", odf=1),
-        "mpi-h": base.with_(version="mpi-h", odf=1),
-        "charm-d-fusion-b": base.with_(version="charm-d", fusion="B"),
-        "charm-d-graphs": base.with_(version="charm-d", cuda_graphs=True),
-        "charm-d-legacy": base.with_(version="charm-d", legacy_sync=True),
-    }
-
-
-#: name -> config pinned under ``tests/golden/<name>.json``.
-CANONICAL_CONFIGS = _canonical()
+#: name -> config pinned under ``tests/golden/<name>.json`` (all apps).
+CANONICAL_CONFIGS = canonical_configs()
 
 
 def trace_digest(tracer: Tracer) -> str:
@@ -81,11 +78,11 @@ def trace_digest(tracer: Tracer) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
-def golden_entry(config: Jacobi3DConfig) -> dict:
-    """Run ``config`` fully traced + invariant-checked and distil the
-    golden record (JSON-ready)."""
+def golden_entry(config) -> dict:
+    """Run ``config`` (any registered app) fully traced + invariant-checked
+    and distil the golden record (JSON-ready)."""
     tracer = Tracer()
-    result = run_jacobi3d(config, tracer=tracer, validate=True)
+    result = run_app(config, tracer=tracer, validate=True)
     return {
         "key": config_key(config),
         "model_version": MODEL_VERSION,
@@ -110,7 +107,7 @@ def golden_worker(config_dict: dict) -> dict:
     exec layer's process pool can pickle it (the determinism tests run the
     same golden configs serially and with ``jobs=4`` and require identical
     digests)."""
-    return golden_entry(Jacobi3DConfig.from_dict(config_dict))
+    return golden_entry(config_from_dict(config_dict))
 
 
 class GoldenStore:

@@ -91,8 +91,44 @@ def test_validate_update_golden_roundtrip(tmp_path, capsys):
                "--golden-dir", str(tmp_path)])
     out = capsys.readouterr().out
     assert rc == 0
-    assert "refreshed 8 entries" in out
-    assert len(list(tmp_path.glob("*.json"))) == 8
+    assert "refreshed 10 entries" in out
+    assert len(list(tmp_path.glob("*.json"))) == 10
+    # Both registered apps contribute entries.
+    assert (tmp_path / "charm-d.json").exists()
+    assert (tmp_path / "jacobi2d-charm-d.json").exists()
+
+
+def test_validate_scoped_to_one_app(tmp_path, capsys):
+    rc = main(["validate", "--app", "jacobi2d", "--quick", "--quiet",
+               "--update-golden", "--golden-dir", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "refreshed 2 entries" in out
+    assert sorted(p.stem for p in tmp_path.glob("*.json")) == [
+        "jacobi2d-charm-d", "jacobi2d-mpi-h"]
+    # Scoped runs skip the other apps' differential matrices.
+    assert "== app:" not in out
+
+
+def test_apps_lists_registered_workloads(capsys):
+    rc = main(["apps"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "jacobi3d" in out and "jacobi2d" in out
+    assert "ndim=3" in out and "ndim=2" in out
+
+
+def test_run_second_app(capsys):
+    rc = main(["run", "--app", "jacobi2d", "--version", "charm-d",
+               "--grid", "96", "96", "--odf", "2", "--iterations", "4"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "time/iteration" in out
+
+
+def test_run_grid_arity_checked_against_app():
+    with pytest.raises(SystemExit, match="--grid needs 2 value"):
+        main(["run", "--app", "jacobi2d", "--grid", "96", "96", "96"])
 
 
 def test_lint_strict_clean_on_shipped_tree(capsys):
