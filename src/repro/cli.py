@@ -37,7 +37,9 @@ results are bit-identical to serial uncached runs either way.
     per-resource utilization, per-iteration phase attribution, the
     critical path, and the metrics catalogue (text, ``--json``,
     ``--html``, or a Perfetto trace via ``--trace``); ``perf compare``
-    is the regression gate CI runs against a committed baseline.
+    is the regression gate CI runs against a committed baseline; ``perf
+    profile`` wraps one run in cProfile to show where the simulator
+    itself spends wall-clock (docs/performance.md).
 """
 
 from __future__ import annotations
@@ -196,6 +198,31 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="perf-report or bench_meta JSON")
     pcmp.add_argument("--tolerance", type=float, default=0.05, metavar="FRAC",
                       help="allowed slowdown fraction (default 0.05 = 5%%)")
+
+    pprof = perf_sub.add_parser(
+        "profile",
+        help="cProfile one config: where the simulator itself spends wall-clock")
+    pprof.add_argument("--app", default="jacobi3d", choices=app_names(),
+                       help="registered application (default jacobi3d)")
+    pprof.add_argument("--version", default="charm-d", choices=list(ALL_VERSIONS))
+    pprof.add_argument("--nodes", type=int, default=1)
+    pprof.add_argument("--grid", type=int, nargs="+", default=None, metavar="N",
+                       help="global grid extents, one per app dimension "
+                            "(default: the app's default grid)")
+    pprof.add_argument("--odf", type=int, default=1)
+    pprof.add_argument("--iterations", type=int, default=10)
+    pprof.add_argument("--warmup", type=int, default=1)
+    pprof.add_argument("--fusion", choices=["A", "B", "C"], default=None)
+    pprof.add_argument("--graphs", action="store_true", help="use CUDA Graphs")
+    pprof.add_argument("--legacy", action="store_true",
+                       help="pre-optimization baseline (Fig. 6)")
+    pprof.add_argument("--top", type=int, default=25, metavar="N",
+                       help="rows in the cumulative-time report (default 25)")
+    pprof.add_argument("--sort", choices=["cumulative", "tottime", "calls"],
+                       default="cumulative",
+                       help="pstats sort order (default cumulative)")
+    pprof.add_argument("--pstats", metavar="PATH", default=None,
+                       help="dump raw profiler stats for snakeviz/pstats")
     return parser
 
 
@@ -384,6 +411,28 @@ def _cmd_perf(args) -> int:
         comparison = compare_perf(baseline, current, tolerance=args.tolerance)
         print(comparison.render_text())
         return 0 if comparison.ok else 1
+
+    if args.perf_command == "profile":
+        # Wall-clock profile of the simulator itself (not simulated time):
+        # the tool for checking that hot-path work stays where
+        # docs/performance.md says it is.
+        import cProfile
+        import pstats
+
+        config = _app_config(args)
+        profiler = cProfile.Profile()
+        profiler.enable()
+        run_app(config)
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats(args.sort).print_stats(args.top)
+        if args.pstats:
+            path = Path(args.pstats)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            stats.dump_stats(str(path))
+            print(f"pstats dump written to {path} "
+                  f"(inspect with python -m pstats or snakeviz)", file=sys.stderr)
+        return 0
 
     config = _app_config(args)
     obs = Observatory()

@@ -48,6 +48,12 @@ from .protocols import Protocol, select_protocol
 
 __all__ = ["TransferHandle", "UcxContext", "PRIORITY_COMM", "PRIORITY_COMPUTE"]
 
+# Handle event labels, interned once (isend/irecv run per message).
+_HANDLE_EVENT_NAMES = {
+    "send": ("ucx.send.done", "ucx.send.matched"),
+    "recv": ("ucx.recv.done", "ucx.recv.matched"),
+}
+
 # Engine-arbitration priorities shared across the stack: communication and
 # its helper operations outrank bulk compute (paper §III-A).
 PRIORITY_COMM = 0
@@ -131,9 +137,7 @@ class UcxContext:
         if self.monitor is not None:
             self.monitor.on_post(handle)
         self._match(handle)
-        self.engine.process(
-            self._send_proc(handle, priority), name=f"ucx.send{src_pe}->{dst_pe}"
-        )
+        self.engine.process(self._send_proc(handle, priority), name="ucx.send")
         return handle
 
     def irecv(
@@ -158,6 +162,7 @@ class UcxContext:
     def _make_handle(self, kind, src_pe, dst_pe, size, tag, on_device) -> TransferHandle:
         if size < 0:
             raise ValueError("negative size")
+        names = _HANDLE_EVENT_NAMES[kind]
         return TransferHandle(
             kind=kind,
             src_pe=src_pe,
@@ -165,8 +170,8 @@ class UcxContext:
             size=size,
             tag=tag,
             on_device=on_device,
-            done=self.engine.event(name=f"ucx.{kind}.done"),
-            matched=self.engine.event(name=f"ucx.{kind}.matched"),
+            done=Event(self.engine, name=names[0]),
+            matched=Event(self.engine, name=names[1]),
         )
 
     def _match(self, handle: TransferHandle) -> None:
@@ -209,7 +214,7 @@ class UcxContext:
                 CopyWork(send.size, COPY_D2H), name="ucx.eager_d2h"
             )
             yield op.done
-        yield eng.timeout(spec.eager_overhead_s)
+        yield spec.eager_overhead_s
         send.done.succeed()  # source buffer reusable: data is buffered
         delivery = self.net.transfer(
             Message(send.src_pe, send.dst_pe, send.size, tag=send.tag, priority=priority)
@@ -217,7 +222,7 @@ class UcxContext:
         yield eng.all_of([delivery, send.matched])
         recv = send.peer
         assert recv is not None
-        yield eng.timeout(spec.eager_overhead_s)  # receive-side copy-out
+        yield spec.eager_overhead_s  # receive-side copy-out
         if recv.on_device:
             op = self._device_state(recv.dst_pe).h2d.enqueue(
                 CopyWork(recv.size, COPY_H2D), name="ucx.eager_h2d"
@@ -231,9 +236,9 @@ class UcxContext:
         yield send.matched
         recv = send.peer
         assert recv is not None
-        yield eng.timeout(self.cluster.spec.node.nic.rendezvous_rtt_s)
+        yield self.cluster.spec.node.nic.rendezvous_rtt_s
         if send.protocol is Protocol.RNDV_GPUDIRECT:
-            yield eng.timeout(spec.gpudirect_reg_overhead_s)
+            yield spec.gpudirect_reg_overhead_s
         if send.protocol is Protocol.DEVICE_IPC and send.src_pe == send.dst_pe:
             # Same GPU: a device-to-device copy on its comm stream, no transport.
             stream = self._device_state(send.src_pe).d2h
@@ -255,7 +260,7 @@ class UcxContext:
         yield send.matched
         recv = send.peer
         assert recv is not None
-        yield eng.timeout(self.cluster.spec.node.nic.rendezvous_rtt_s)
+        yield self.cluster.spec.node.nic.rendezvous_rtt_s
         src_state = self._device_state(send.src_pe) if send.on_device else None
         dst_state = self._device_state(recv.dst_pe) if recv.on_device else None
         same_node = self.net.node_of_pe(send.src_pe) == self.net.node_of_pe(send.dst_pe)
@@ -263,7 +268,8 @@ class UcxContext:
         n_chunks = max(1, math.ceil(send.size / chunk))
         unstage_events: list[Event] = []
         remaining = send.size
-        trace(eng, "ucx.pipeline", f"pe{send.src_pe}", size=send.size, chunks=n_chunks)
+        if eng.tracer is not None:
+            trace(eng, "ucx.pipeline", f"pe{send.src_pe}", size=send.size, chunks=n_chunks)
         if eng.metrics is not None:
             eng.metrics.inc("ucx.pipeline_chunks", n_chunks, pe=send.src_pe)
         if src_state is not None:
@@ -277,7 +283,7 @@ class UcxContext:
                     yield grant
                     stage = src_state.d2h.enqueue(CopyWork(csize, COPY_D2H), name="ucx.stage")
                     yield stage.done
-                yield eng.timeout(spec.per_chunk_overhead_s)
+                yield spec.per_chunk_overhead_s
                 delivery = self.net.transfer(
                     Message(
                         send.src_pe,

@@ -48,7 +48,7 @@ class PE:
         req = self.core.request(priority=priority)
         yield req
         token = self.busy.begin()
-        yield self.engine.timeout(duration)
+        yield duration
         self.busy.end(token)
         self.core.release(req)
 

@@ -152,7 +152,7 @@ class GpuOp:
     ):
         self.work = work
         self.name = name or type(work).__name__
-        self.done = engine.event(name=f"op:{self.name}")
+        self.done = Event(engine, self.name)
         self.wait_events = list(wait_events or ())
         self.op_id = next(_op_ids)
         self.in_graph_overhead: Optional[float] = None  # set when run via CUDA graph
@@ -214,16 +214,18 @@ class CudaStream:
         pending_waits: list[Event] = []
         while True:
             item = yield self._queue.get()
-            if isinstance(item, CudaEvent):
-                item.fired.succeed()
-                continue
-            if isinstance(item, _WaitMarker):
-                pending_waits.append(item.event.fired)
-                continue
+            cls = item.__class__
+            if cls is not GpuOp:
+                if isinstance(item, CudaEvent):
+                    item.fired.succeed()
+                    continue
+                if isinstance(item, _WaitMarker):
+                    pending_waits.append(item.event.fired)
+                    continue
             op: GpuOp = item
-            deps = pending_waits + op.wait_events
-            pending_waits = []
-            if deps:
+            if pending_waits or op.wait_events:
+                deps = pending_waits + op.wait_events
+                pending_waits = []
                 yield eng.all_of(deps)
             yield from self.device._execute(op, self.priority)
 
@@ -306,15 +308,16 @@ class GpuDevice:
             overhead = op.work.device_overhead(self.spec)
         duration = overhead + op.work.duration(self.spec, self.link)
         token = self.trackers[kind].begin()
-        trace(
-            self.engine,
-            f"gpu.{kind}",
-            self.name,
-            op=op.name,
-            start=self.engine.now,
-            duration=duration,
-        )
-        yield self.engine.timeout(duration)
+        if self.engine.tracer is not None:
+            trace(
+                self.engine,
+                f"gpu.{kind}",
+                self.name,
+                op=op.name,
+                start=self.engine.now,
+                duration=duration,
+            )
+        yield duration
         self.trackers[kind].end(token)
         resource.release(req)
         op.done.succeed()

@@ -78,6 +78,11 @@ class Network:
         self.eject = [Resource(engine, name=f"n{i}.eject") for i in range(n_nodes)]
         self.intra = [Resource(engine, name=f"n{i}.intra") for i in range(n_nodes)]
         self.inflight = IntervalTracker(engine, "net.inflight")
+        # All-pairs wire latency, precomputed vectorized on first use and
+        # stored as plain nested lists (two list indexes per lookup beats
+        # re-walking the tree levels per message; plain floats keep numpy
+        # scalar types out of simulation timestamps).
+        self._lat_matrix: Optional[list[list[float]]] = None
         self.messages_sent = 0
         self.messages_delivered = 0
         self.bytes_sent = 0
@@ -90,7 +95,11 @@ class Network:
         return pe // self.pes_per_node
 
     def wire_latency(self, src_node: int, dst_node: int) -> float:
-        return self.tree.latency(src_node, dst_node, self.spec.node.nic)
+        matrix = self._lat_matrix
+        if matrix is None:
+            matrix = self._lat_matrix = self.tree.latency_matrix(
+                self.n_nodes, self.spec.node.nic)
+        return matrix[src_node][dst_node]
 
     def uncontended_time(self, src_pe: int, dst_pe: int, size: int) -> float:
         """Pure-wire transfer time with idle ports (for tests/analysis)."""
@@ -99,12 +108,29 @@ class Network:
             return self._intra_lat + size / self._intra_bw
         return self.wire_latency(a, b) + size / self._bw
 
+    def uncontended_times(self, src_pes, dst_pes, sizes):
+        """Vectorized :meth:`uncontended_time` over equal-length batches;
+        returns a float64 array, each element bit-identical to the scalar
+        path (same divisions and additions, element-wise)."""
+        import numpy as np
+
+        src = np.asarray(src_pes, dtype=np.int64) // self.pes_per_node
+        dst = np.asarray(dst_pes, dtype=np.int64) // self.pes_per_node
+        size = np.asarray(sizes, dtype=np.float64)
+        matrix = self._lat_matrix
+        if matrix is None:
+            matrix = self._lat_matrix = self.tree.latency_matrix(
+                self.n_nodes, self.spec.node.nic)
+        wire = np.asarray(matrix)[src, dst] + size / self._bw
+        intra = self._intra_lat + size / self._intra_bw
+        return np.where(src == dst, intra, wire)
+
     # -- transfer ------------------------------------------------------------
     def transfer(self, message: Message) -> Event:
         """Move ``message`` across the machine; the returned event triggers
         at delivery (when the last byte reaches the destination node)."""
-        done = self.engine.event(name=f"net.deliver#{message.msg_id}")
-        self.engine.process(self._transfer_proc(message, done), name=f"net.xfer#{message.msg_id}")
+        done = Event(self.engine, name="net.deliver")
+        self.engine.process(self._transfer_proc(message, done), name="net.xfer")
         return done
 
     def _transfer_proc(self, message: Message, done: Event):
@@ -121,28 +147,30 @@ class Network:
         if self.monitor is not None:
             self.monitor.on_send(message)
         token = self.inflight.begin()
-        trace(eng, "net.send", f"pe{message.src_pe}", dst=message.dst_pe, size=message.size,
-              tag=message.tag)
+        if eng.tracer is not None:
+            trace(eng, "net.send", f"pe{message.src_pe}", dst=message.dst_pe,
+                  size=message.size, tag=message.tag)
         if src_node == dst_node:
             hold = self.intra[src_node].request(priority=message.priority)
             yield hold
-            yield eng.timeout(message.size * message.wire_time_scale / self._intra_bw)
+            yield message.size * message.wire_time_scale / self._intra_bw
             self.intra[src_node].release(hold)
-            yield eng.timeout(self._intra_lat)
+            yield self._intra_lat
         else:
             inj = self.inject[src_node].request(priority=message.priority)
             yield inj
             ej = self.eject[dst_node].request(priority=message.priority)
             yield ej
-            yield eng.timeout(message.size * message.wire_time_scale / self._bw)
+            yield message.size * message.wire_time_scale / self._bw
             self.inject[src_node].release(inj)
             self.eject[dst_node].release(ej)
-            yield eng.timeout(self.wire_latency(src_node, dst_node))
+            yield self.wire_latency(src_node, dst_node)
         message.delivered_at = eng.now
         self.messages_delivered += 1
         if self.monitor is not None:
             self.monitor.on_deliver(message)
         self.inflight.end(token)
-        trace(eng, "net.deliver", f"pe{message.dst_pe}", src=message.src_pe,
-              size=message.size, tag=message.tag, latency=eng.now - message.sent_at)
+        if eng.tracer is not None:
+            trace(eng, "net.deliver", f"pe{message.dst_pe}", src=message.src_pe,
+                  size=message.size, tag=message.tag, latency=eng.now - message.sent_at)
         done.succeed(message)

@@ -43,3 +43,28 @@ class FatTree:
     def latency(self, node_a: int, node_b: int, nic: NicSpec) -> float:
         """One-way wire latency between two nodes."""
         return nic.base_latency_s + self.hops(node_a, node_b) * nic.per_hop_latency_s
+
+    def hops_matrix(self, n_nodes: int):
+        """All-pairs :meth:`hops` as an ``(n_nodes, n_nodes)`` int array,
+        computed vectorized (one comparison sweep per tree level)."""
+        import numpy as np
+
+        idx = np.arange(n_nodes)
+        a, b = idx[:, None], idx[None, :]
+        hops = np.full((n_nodes, n_nodes), 2 * self.spec.levels, dtype=np.int64)
+        for level in range(self.spec.levels, 0, -1):
+            size = self.group_size(level)
+            hops[(a // size) == (b // size)] = 2 * level
+        hops[a == b] = 0
+        return hops
+
+    def latency_matrix(self, n_nodes: int, nic: NicSpec) -> list[list[float]]:
+        """All-pairs :meth:`latency` as nested Python lists.
+
+        The arithmetic (`int64 * float64` then add) runs the same IEEE
+        operations as the scalar path, so every entry is bit-identical to
+        ``latency(a, b, nic)``; ``tolist()`` hands back plain floats so
+        simulation times never carry numpy scalar types.
+        """
+        lat = nic.base_latency_s + self.hops_matrix(n_nodes) * nic.per_hop_latency_s
+        return lat.tolist()

@@ -212,7 +212,7 @@ class MpiWorld:
         def busy(seconds):
             if seconds > 0:
                 token = pe.busy.begin()
-                yield engine.timeout(seconds)
+                yield seconds
                 pe.busy.end(token)
 
         def blocking_wait(event):

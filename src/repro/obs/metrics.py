@@ -73,7 +73,10 @@ class _Metric:
         self.dropped_series = 0
 
     def _cell_key(self, labels: dict) -> tuple:
-        key = _label_key(labels)
+        # Unlabelled series (the engine's per-event counters) skip the
+        # sort/str tuple build entirely — the enabled path must stay
+        # append-only with no per-call allocation beyond the cell update.
+        key = _label_key(labels) if labels else ()
         if key not in self.series and len(self.series) >= self.max_series:
             self.dropped_series += 1
             return _OVERFLOW_KEY
@@ -240,13 +243,22 @@ class MetricsRegistry:
 
     # -- instrumentation-site helpers (auto-create) ------------------------
     def inc(self, name: str, value: float = 1.0, **labels) -> None:
-        self.counter(name).inc(value, **labels)
+        metric = self._metrics.get(name)
+        if metric is None or metric.__class__ is not Counter:
+            metric = self.counter(name)  # create, or raise on kind clash
+        metric.inc(value, **labels)
 
     def set(self, name: str, value: float, **labels) -> None:
-        self.gauge(name).set(value, **labels)
+        metric = self._metrics.get(name)
+        if metric is None or metric.__class__ is not Gauge:
+            metric = self.gauge(name)
+        metric.set(value, **labels)
 
     def observe(self, name: str, value: float, **labels) -> None:
-        self.histogram(name).observe(value, **labels)
+        metric = self._metrics.get(name)
+        if metric is None or metric.__class__ is not Histogram:
+            metric = self.histogram(name)
+        metric.observe(value, **labels)
 
     # -- queries -----------------------------------------------------------
     def get(self, name: str) -> Optional[_Metric]:

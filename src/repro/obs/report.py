@@ -358,7 +358,10 @@ def extract_comparable(doc: dict) -> dict[str, float]:
     * a :class:`PerfReport` JSON (``schema: repro.perf/1`` or any dict with
       ``time_per_iteration``) — simulated, deterministic metrics;
     * a ``bench_meta.json`` trajectory — per-figure wall-clock, where each
-      figure's newest history entry supplies ``<figure>.wall_s``.
+      figure's newest history entry supplies ``<figure>.wall_s``, plus the
+      engine microbenchmark's per-mix cost as
+      ``<key>.us_per_event.<mix>`` (also lower-is-better, so an event-loop
+      slowdown trips the same gate as a figure slowdown).
     """
     if "time_per_iteration" in doc:
         out = {"time_per_iteration": float(doc["time_per_iteration"])}
@@ -377,6 +380,11 @@ def extract_comparable(doc: dict) -> dict[str, float]:
         wall = entry.get("wall_s")
         if isinstance(wall, (int, float)):
             out[f"{key}.wall_s"] = float(wall)
+        upe = entry.get("us_per_event")
+        if isinstance(upe, dict):
+            for mix, cost in upe.items():
+                if isinstance(cost, (int, float)):
+                    out[f"{key}.us_per_event.{mix}"] = float(cost)
     return out
 
 

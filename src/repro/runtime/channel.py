@@ -100,7 +100,7 @@ class Channel:
                 # Deposit (note, data): data is the sender's payload for
                 # receives, None for send completions.
                 data = (note, ev.value)
-                runtime.engine.timeout(poll).add_callback(
+                runtime.engine.pause(poll).add_callback(
                     lambda _t: scheduler.enqueue(
                         EntryMessage(
                             array_id=self.array.array_id,

@@ -33,14 +33,25 @@ __all__ = ["Chare", "Frame"]
 class Frame:
     """One executing SDAG continuation (a generator being driven)."""
 
-    __slots__ = ("chare", "coroutine", "waiting_when", "finished", "name")
+    __slots__ = ("chare", "coroutine", "waiting_when", "finished", "method", "_name")
 
-    def __init__(self, chare: "Chare", coroutine, name: str = ""):
+    def __init__(self, chare: "Chare", coroutine, name: str = "", method: str = ""):
         self.chare = chare
         self.coroutine = coroutine
         self.waiting_when: Optional[When] = None
         self.finished = False
-        self.name = name
+        self.method = method
+        self._name = name
+
+    @property
+    def name(self) -> str:
+        """Diagnostic label, built lazily — frames are created per entry
+        message, so the hot path must not pay for a repr nobody reads."""
+        if self._name:
+            return self._name
+        if self.method:
+            return f"{self.chare!r}.{self.method}"
+        return ""
 
     def matches(self, method: str, ref: Any) -> bool:
         w = self.waiting_when

@@ -73,7 +73,7 @@ def _gm_post(self, msg: EntryMessage) -> None:
                                    tag=info["tag"], on_device=True)
 
         def on_done(_ev):
-            runtime.engine.timeout(poll).add_callback(
+            runtime.engine.pause(poll).add_callback(
                 lambda _t: scheduler.enqueue(
                     EntryMessage(
                         array_id=self.array.array_id, index=self.index,

@@ -53,6 +53,13 @@ class CharmRuntime:
         self._live_frames = 0
         self._frames_ever = 0
         self._stuck: list = []
+        #: (array_id, index) -> chare, filled lazily by :meth:`chare_at`.
+        #: Array elements are fixed at creation, so entries never go stale.
+        self._chare_cache: dict = {}
+        #: chare class -> {method name -> (function | None, is_generator)},
+        #: the per-class entry dispatch tables built lazily by the
+        #: schedulers (shared here so every PE reuses the same lookups).
+        self._entry_tables: dict[type, dict] = {}
 
     # -- arrays -----------------------------------------------------------------
     def create_array(
@@ -74,7 +81,12 @@ class CharmRuntime:
         return self._arrays[array_id]
 
     def chare_at(self, array_id: int, index):
-        return self._arrays[array_id].elements[tuple(index)]
+        key = (array_id, index) if type(index) is tuple else (array_id, tuple(index))
+        chare = self._chare_cache.get(key)
+        if chare is None:
+            chare = self._arrays[array_id].elements[key[1]]
+            self._chare_cache[key] = chare
+        return chare
 
     def scheduler_of(self, pe_index: int) -> Scheduler:
         return self.schedulers[pe_index]
@@ -86,7 +98,7 @@ class CharmRuntime:
 
         if src_pe == dst_pe:
             # Same-PE: pointer enqueue after a small delivery delay.
-            self.engine.timeout(self.costs.local_delivery_s).add_callback(
+            self.engine.pause(self.costs.local_delivery_s).add_callback(
                 lambda _e: self.schedulers[dst_pe].enqueue(msg)
             )
         else:

@@ -10,10 +10,19 @@ All CPU costs (scheduling, dispatch, sends, kernel-launch calls) are
 charged here, serially, because the PE is a single core: a chare busy
 launching kernels delays every other chare on that PE — the fine-grained
 overhead that caps useful ODF in Figs. 7–9.
+
+Hot-path notes (see ``docs/performance.md``): entry-method lookup goes
+through a per-chare-class dispatch table built lazily on first delivery
+(no ``getattr`` + ``inspect`` per message), command dispatch in the SDAG
+driver is a single class-keyed table lookup, and the busy/flush helpers
+are inlined behind cheap guards so the zero-charge case allocates no
+generators.  None of this changes the event schedule: a zero-second
+charge never yielded an event before either.
 """
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable, Optional
 
 from ..sim import PriorityStore, SimulationError
@@ -22,6 +31,23 @@ from .commands import Await, Launch, LaunchGraph, When, Work
 from .messages import EntryMessage, Resume, queue_priority
 
 __all__ = ["Scheduler"]
+
+# Command kinds for the SDAG driver's flat dispatch (resolved once per
+# command class; subclasses of the five command types fold onto their base).
+_WORK, _LAUNCH, _GRAPH, _WHEN, _AWAIT = range(5)
+_COMMAND_KINDS: dict[type, int] = {
+    Work: _WORK, Launch: _LAUNCH, LaunchGraph: _GRAPH, When: _WHEN, Await: _AWAIT,
+}
+
+
+def _command_kind(cmd) -> Optional[int]:
+    """Kind of ``cmd``, caching unseen (sub)classes; ``None`` = not a command."""
+    for base, kind in ((Work, _WORK), (Launch, _LAUNCH), (LaunchGraph, _GRAPH),
+                       (When, _WHEN), (Await, _AWAIT)):
+        if isinstance(cmd, base):
+            _COMMAND_KINDS[cmd.__class__] = kind
+            return kind
+    return None
 
 
 class Scheduler:
@@ -56,36 +82,67 @@ class Scheduler:
 
     # -- main loop ------------------------------------------------------------
     def _loop(self):
+        engine = self.engine
         costs = self.costs
+        queue = self.queue
         while True:
-            item = yield self.queue.get()
+            item = yield queue.get()
             self.messages_processed += 1
-            metrics = self.engine.metrics
+            is_resume = item.__class__ is Resume or isinstance(item, Resume)
+            metrics = engine.metrics
             if metrics is not None:
-                kind = "resume" if isinstance(item, Resume) else "entry"
-                metrics.inc("sched.messages", pe=self.pe.index, kind=kind)
-                metrics.set("sched.queue_depth", len(self.queue.items), pe=self.pe.index)
-            if isinstance(item, Resume):
+                metrics.inc("sched.messages", pe=self.pe.index,
+                            kind="resume" if is_resume else "entry")
+                metrics.set("sched.queue_depth", len(queue.items), pe=self.pe.index)
+            if is_resume:
                 if item.frame.finished:
                     continue
                 # One combined charge: queue pop + continuation resume.
-                yield from self._busy(costs.scheduling_overhead_s + costs.resume_overhead_s)
+                seconds = costs.scheduling_overhead_s + costs.resume_overhead_s
+                if seconds > 0:
+                    if metrics is not None:
+                        metrics.inc("sched.busy_s", seconds, pe=self.pe.index)
+                    token = self.pe.busy.begin()
+                    yield seconds
+                    self.pe.busy.end(token)
                 yield from self._drive(item.frame, item.value)
-            elif isinstance(item, EntryMessage):
+            elif item.__class__ is EntryMessage or isinstance(item, EntryMessage):
                 yield from self._dispatch(item)
             else:  # pragma: no cover - guarded by types
                 raise SimulationError(f"unknown queue item {item!r}")
 
+    def _entry_info(self, cls: type, method: str):
+        """``(bound-unbound function | None, is_generator)`` for an entry
+        method, from the runtime-wide per-class dispatch table (built
+        lazily: one ``getattr`` + ``inspect`` per (class, method), ever)."""
+        tables = self.runtime._entry_tables
+        table = tables.get(cls)
+        if table is None:
+            table = tables[cls] = {}
+        info = table.get(method)
+        if info is None:
+            fn = getattr(cls, method, None)
+            info = (fn, fn is not None and inspect.isgeneratorfunction(fn))
+            table[method] = info
+        return info
+
     def _dispatch(self, msg: EntryMessage):
+        engine = self.engine
         costs = self.costs
         chare = self.runtime.chare_at(msg.array_id, msg.index)
         if chare.pe is not self.pe:
             raise SimulationError(
                 f"message for {chare!r} landed on wrong scheduler {self.pe.name}"
             )
-        method = getattr(type(chare), msg.method, None)
+        method, is_gen = self._entry_info(chare.__class__, msg.method)
         # One combined charge: queue pop + envelope + entry dispatch.
-        yield from self._busy(costs.scheduling_overhead_s + costs.entry_dispatch_s)
+        seconds = costs.scheduling_overhead_s + costs.entry_dispatch_s
+        if seconds > 0:
+            if engine.metrics is not None:
+                engine.metrics.inc("sched.busy_s", seconds, pe=self.pe.index)
+            token = self.pe.busy.begin()
+            yield seconds
+            self.pe.busy.end(token)
         if method is None:
             # Mailbox deposit: resume a matching `when`, else buffer.
             frame = chare._take_waiting_frame(msg.method, msg.ref)
@@ -93,70 +150,86 @@ class Scheduler:
                 yield from self._drive(frame, msg)
             else:
                 chare._mailbox_push(msg)
-        elif _is_generator_function(method):
+        elif is_gen:
             coroutine = method(chare, msg)
-            frame = Frame(chare, coroutine, name=f"{chare!r}.{msg.method}")
+            frame = Frame(chare, coroutine, method=msg.method)
             chare._frames.append(frame)
             self.runtime._frame_started(frame)
             yield from self._drive(frame, None)
         else:
             method(chare, msg)
-            yield from self._flush()
+            if self._pending_charge > 0 or self._outbox:
+                yield from self._flush()
 
     # -- SDAG continuation driver -----------------------------------------------
     def _drive(self, frame: Frame, value):
+        engine = self.engine
+        pe = self.pe
         coroutine = frame.coroutine
         chare = frame.chare
+        kinds = _COMMAND_KINDS
         while True:
             try:
                 cmd = coroutine.send(value)
             except StopIteration:
                 frame.finished = True
                 chare._frames.remove(frame)
-                yield from self._flush()
+                if self._pending_charge > 0 or self._outbox:
+                    yield from self._flush()
                 self.runtime._frame_finished(frame)
                 return
             value = None
-            if isinstance(cmd, Work):
-                yield from self._flush()
-                yield from self._busy(cmd.seconds)
-            elif isinstance(cmd, Launch):
-                yield from self._flush()
-                yield from self._busy(cmd.stream.device.cpu_launch_cost(cmd.work))
-                if self.engine.metrics is not None:
-                    self.engine.metrics.inc("sched.launches", pe=self.pe.index, kind="kernel")
-                value = cmd.stream.enqueue(
-                    cmd.work, name=cmd.name, wait_events=list(cmd.wait_events)
-                )
-            elif isinstance(cmd, LaunchGraph):
-                yield from self._flush()
-                yield from self._busy(cmd.exec.cpu_launch_cost)
-                if self.engine.metrics is not None:
-                    self.engine.metrics.inc("sched.launches", pe=self.pe.index, kind="graph")
-                value = cmd.exec.launch(priority=cmd.priority, after=list(cmd.after))
-            elif isinstance(cmd, When):
+            kind = kinds.get(cmd.__class__)
+            if kind is None:
+                kind = _command_kind(cmd)
+                if kind is None:
+                    frame.finished = True
+                    chare._frames.remove(frame)
+                    self.runtime._frame_finished(frame)
+                    raise SimulationError(
+                        f"{frame.name} yielded {cmd!r}; entry methods must yield Commands"
+                    )
+            if kind == _WHEN:
                 msg = chare._mailbox_pop(cmd.method, cmd.ref)
                 if msg is not None:
                     value = msg
                     continue
-                yield from self._flush()
+                if self._pending_charge > 0 or self._outbox:
+                    yield from self._flush()
                 frame.waiting_when = cmd
                 return
-            elif isinstance(cmd, Await):
+            if self._pending_charge > 0 or self._outbox:
                 yield from self._flush()
+            if kind == _WORK:
+                seconds = cmd.seconds
+            elif kind == _LAUNCH:
+                seconds = cmd.stream.device.cpu_launch_cost(cmd.work)
+            elif kind == _GRAPH:
+                seconds = cmd.exec.cpu_launch_cost
+            else:  # _AWAIT
                 event = cmd.event
                 if event.processed:
                     value = event.value
                     continue
                 self._register_wakeup(frame, event, cmd.priority)
                 return
-            else:
-                frame.finished = True
-                chare._frames.remove(frame)
-                self.runtime._frame_finished(frame)
-                raise SimulationError(
-                    f"{frame.name} yielded {cmd!r}; entry methods must yield Commands"
+            metrics = engine.metrics
+            if seconds > 0:
+                if metrics is not None:
+                    metrics.inc("sched.busy_s", seconds, pe=pe.index)
+                token = pe.busy.begin()
+                yield seconds
+                pe.busy.end(token)
+            if kind == _LAUNCH:
+                if metrics is not None:
+                    metrics.inc("sched.launches", pe=pe.index, kind="kernel")
+                value = cmd.stream.enqueue(
+                    cmd.work, name=cmd.name, wait_events=list(cmd.wait_events)
                 )
+            elif kind == _GRAPH:
+                if metrics is not None:
+                    metrics.inc("sched.launches", pe=pe.index, kind="graph")
+                value = cmd.exec.launch(priority=cmd.priority, after=list(cmd.after))
 
     def _register_wakeup(self, frame: Frame, event, priority: float) -> None:
         """Asynchronous completion detection: when ``event`` fires, a Resume
@@ -164,7 +237,7 @@ class Scheduler:
         poll = self.costs.hapi_poll_s
 
         def on_fire(ev):
-            self.engine.timeout(poll).add_callback(
+            self.engine.pause(poll).add_callback(
                 lambda _t: self.enqueue(Resume(frame, ev.value, priority))
             )
 
@@ -176,7 +249,7 @@ class Scheduler:
             if self.engine.metrics is not None:
                 self.engine.metrics.inc("sched.busy_s", seconds, pe=self.pe.index)
             token = self.pe.busy.begin()
-            yield self.engine.timeout(seconds)
+            yield seconds
             self.pe.busy.end(token)
 
     def _flush(self):
@@ -188,9 +261,3 @@ class Scheduler:
             outbox, self._outbox = self._outbox, []
             for thunk in outbox:
                 thunk()
-
-
-def _is_generator_function(fn) -> bool:
-    import inspect
-
-    return inspect.isgeneratorfunction(fn)

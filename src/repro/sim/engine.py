@@ -29,6 +29,7 @@ Example
 from __future__ import annotations
 
 import heapq
+from heapq import heappush as _heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from .errors import EventAlreadyTriggered, ProcessCrashed, SimulationError, StopEngine
@@ -67,6 +68,15 @@ class Event:
 
     __slots__ = ("engine", "callbacks", "_value", "_state", "_ok", "name")
 
+    #: Class-level flags read by the run loop instead of ``isinstance``
+    #: checks (one monomorphic attribute load per event).  ``_crashable``
+    #: marks events whose unwatched failure must abort the run
+    #: (:class:`Process`); ``_poolable`` marks engine-recycled events that
+    #: must never be retained past their trigger time (see
+    #: :meth:`Engine.pause`).
+    _crashable = False
+    _poolable = False
+
     def __init__(self, engine: "Engine", name: str = ""):
         self.engine = engine
         self.callbacks: list[Callable[[Event], None]] = []
@@ -104,7 +114,11 @@ class Event:
         self._state = TRIGGERED
         self._ok = True
         self._value = value
-        self.engine._push(0.0, priority, self)
+        engine = self.engine
+        _heappush(engine._heap, (engine.now, priority, engine._seq, self))
+        engine._seq += 1
+        if engine.metrics is not None:
+            engine.metrics.inc("sim.events.scheduled")
         return self
 
     def fail(self, exc: BaseException, priority: int = NORMAL) -> "Event":
@@ -150,12 +164,52 @@ class Timeout(Event):
     def __init__(self, engine: "Engine", delay: float, value: Any = None, name: str = ""):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(engine, name=name)
-        self.delay = delay
+        # Flattened Event.__init__ + Engine._push: one constructor frame
+        # instead of three on a path taken once per timeout.
+        self.engine = engine
+        self.callbacks = []
+        self._value = value
         self._state = TRIGGERED
         self._ok = True
-        self._value = value
-        engine._push(delay, NORMAL, self)
+        self.name = name
+        self.delay = delay
+        _heappush(engine._heap, (engine.now + delay, NORMAL, engine._seq, self))
+        engine._seq += 1
+        if engine.metrics is not None:
+            engine.metrics.inc("sim.events.scheduled")
+
+
+class _PooledEvent(Event):
+    """A recyclable pre-triggered delay, reused through the engine's
+    free-list (see :meth:`Engine.pause`).  Never constructed by user code
+    and never safe to retain after it fires: the run loop resets and
+    recycles the object as soon as its callbacks have run.
+
+    ``_waiter`` is the single-waiter fast lane used by the bare-number
+    yield in :meth:`Process._resume` — one slot store instead of a
+    callbacks-list append, one call instead of a list iteration.  A pooled
+    event may carry a ``_waiter``, ``callbacks``, or both (fired in that
+    order, matching registration order: the waiter is only ever installed
+    at creation time)."""
+
+    __slots__ = ("_waiter",)
+
+    _poolable = True
+
+    def __init__(self, engine: "Engine", name: str = ""):
+        super().__init__(engine, name=name)
+        self._waiter = None
+
+    def _process(self) -> None:
+        self._state = PROCESSED
+        waiter, self._waiter = self._waiter, None
+        if waiter is not None:
+            waiter(self)
+        callbacks = self.callbacks
+        if callbacks:
+            self.callbacks = []
+            for fn in callbacks:
+                fn(self)
 
 
 class _ConditionBase(Event):
@@ -169,6 +223,11 @@ class _ConditionBase(Event):
         for ev in self.events:
             if ev.engine is not engine:
                 raise SimulationError("cannot mix events from different engines")
+            if ev._poolable:
+                # A condition reads child values when *it* triggers, which
+                # can be after the child was recycled — reject outright.
+                raise SimulationError(
+                    "conditions cannot wait on pooled pause() events")
         self._n_done = 0
         if not self.events:
             self.succeed(self._result())
@@ -231,20 +290,30 @@ class Process(Event):
     exception).
     """
 
-    __slots__ = ("_generator", "_waiting_on")
+    __slots__ = ("_generator", "_send", "_throw", "_waiting_on", "_resume_cb")
+
+    _crashable = True
 
     def __init__(self, engine: "Engine", generator: ProcessGenerator, name: str = ""):
         if not hasattr(generator, "throw"):
             raise TypeError(f"process requires a generator, got {type(generator).__name__}")
         super().__init__(engine, name=name or getattr(generator, "__name__", ""))
         self._generator = generator
+        # Bound methods cached once: _resume runs once per wakeup and the
+        # attribute chain through the generator is measurable there.
+        self._send = generator.send
+        self._throw = generator.throw
+        # One bound method for the process's whole life: _resume re-registers
+        # itself on every yielded event, and `self._resume` builds a fresh
+        # bound object each time it is evaluated.
+        self._resume_cb = self._resume
         self._waiting_on: Optional[Event] = None
         # Kick off at the current time via an immediately-triggered event.
         start = Event(engine, name="<start>")
         start._state = TRIGGERED
         start._ok = True
         engine._push(0.0, NORMAL, start)
-        start.add_callback(self._resume)
+        start.add_callback(self._resume_cb)
         self._waiting_on = start
 
     @property
@@ -260,14 +329,16 @@ class Process(Event):
             raise SimulationError("cannot interrupt a finished process")
         if self._waiting_on is not None:
             target = self._waiting_on
-            if self._resume in target.callbacks:
-                target.callbacks.remove(self._resume)
+            if target._poolable and target._waiter is self._resume_cb:
+                target._waiter = None  # defuse the pending bare-yield tick
+            elif self._resume_cb in target.callbacks:
+                target.callbacks.remove(self._resume_cb)
         wake = Event(self.engine, name="<interrupt>")
         wake._state = TRIGGERED
         wake._ok = False
         wake._value = Interrupt(cause)
         self.engine._push(0.0, URGENT, wake)
-        wake.add_callback(self._resume)
+        wake.add_callback(self._resume_cb)
         self._waiting_on = wake
 
     def _resume(self, trigger: Event) -> None:
@@ -277,10 +348,10 @@ class Process(Event):
         engine = self.engine
         engine._active_process = self
         try:
-            if trigger.ok:
-                target = self._generator.send(trigger.value)
+            if trigger._ok:
+                target = self._send(trigger._value)
             else:
-                target = self._generator.throw(trigger.value)
+                target = self._throw(trigger._value)
         except StopIteration as stop:
             engine._active_process = None
             self.succeed(stop.value)
@@ -292,19 +363,43 @@ class Process(Event):
             self.fail(exc)
             return
         engine._active_process = None
-        if not isinstance(target, Event):
+        # Monomorphic accept: the dominant yields are bare delays, pooled
+        # pauses and fresh Events; fall back to isinstance otherwise.
+        cls = target.__class__
+        if cls is float or cls is int:
+            # `yield delay` — shorthand for `yield engine.pause(delay)`,
+            # scheduled identically (one push, one sequence number) but
+            # with the pause inlined: no constructor, no dispatch checks.
+            if target < 0:
+                self._generator.close()
+                self.fail(SimulationError(f"cannot schedule into the past (delay={target})"))
+                return
+            pool = engine._event_pool
+            ev = pool.pop() if pool else _PooledEvent(engine, name="<pause>")
+            ev._state = TRIGGERED
+            ev._waiter = self._resume_cb
+            _heappush(engine._heap, (engine.now + target, NORMAL, engine._seq, ev))
+            engine._seq += 1
+            if engine.metrics is not None:
+                engine.metrics.inc("sim.events.scheduled")
+            self._waiting_on = ev
+            return
+        if cls is not _PooledEvent and cls is not Event and not isinstance(target, Event):
             crash = SimulationError(
                 f"process {self.name!r} yielded {target!r}; processes must yield Event objects"
             )
             self._generator.close()
             self.fail(crash)
             return
-        if target.engine is not self.engine:
+        if target.engine is not engine:
             self._generator.close()
             self.fail(SimulationError("yielded event belongs to a different engine"))
             return
         self._waiting_on = target
-        target.add_callback(self._resume)
+        if target._state != PROCESSED:
+            target.callbacks.append(self._resume_cb)
+        else:  # already-processed target: resume immediately (add_callback semantics)
+            self._resume(target)
 
 
 class Engine:
@@ -325,6 +420,12 @@ class Engine:
         self.tracer = None  # set by sim.tracing.Tracer.attach()
         self.metrics = None  # set by obs.metrics.MetricsRegistry.attach()
         self._monitors: list[Callable[[float, Event], None]] = []
+        #: Events processed over the engine's lifetime (plain int: the
+        #: events/sec numerator for ``benchmarks/bench_engine.py``).
+        self.events_executed = 0
+        #: Free-list of recycled :class:`_PooledEvent` objects (see
+        #: :meth:`pause`); the run loop returns fired pooled events here.
+        self._event_pool: list[_PooledEvent] = []
 
     # -- monitoring --------------------------------------------------------
     def add_monitor(self, fn: Callable[[float, "Event"], None]) -> None:
@@ -348,6 +449,35 @@ class Engine:
     def timeout(self, delay: float, value: Any = None, name: str = "") -> Timeout:
         """An event triggering ``delay`` after now."""
         return Timeout(self, delay, value=value, name=name)
+
+    def pause(self, delay: float, value: Any = None) -> Event:
+        """A pooled, pre-triggered delay — :meth:`timeout` for the hot
+        create-yield-discard pattern, without a fresh allocation per call.
+
+        Schedules identically to a timeout (one push at ``NORMAL``
+        priority, one sequence number), so swapping ``timeout`` for
+        ``pause`` never changes the event schedule.  The returned object
+        is recycled by the run loop the moment its callbacks finish.
+
+        Contract: wait on it immediately (``yield`` it or
+        ``add_callback``) and never retain a reference past its trigger
+        time.  Conditions (:class:`AllOf`/:class:`AnyOf`) reject pooled
+        events because they read child values after the child fires.
+        """
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+        else:
+            event = _PooledEvent(self, name="<pause>")
+        event._state = TRIGGERED
+        event._value = value
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        _heappush(self._heap, (self.now + delay, NORMAL, self._seq, event))
+        self._seq += 1
+        if self.metrics is not None:
+            self.metrics.inc("sim.events.scheduled")
+        return event
 
     def process(self, generator: ProcessGenerator, name: str = "") -> Process:
         """Start a new process from ``generator`` at the current time."""
@@ -385,12 +515,22 @@ class Engine:
         if time < self.now:
             raise SimulationError("event heap corrupted: time went backwards")
         self.now = time
+        self.events_executed += 1
         if self._monitors:
             for monitor in self._monitors:
                 monitor(time, event)
         if self.metrics is not None:
             self.metrics.inc("sim.events.executed")
         event._process()
+        if event._poolable:
+            self._recycle(event)
+
+    def _recycle(self, event: Event) -> None:
+        """Return a fired pooled event to the free-list (state reset so
+        :meth:`pause` can hand it out again)."""
+        event._value = None
+        event._ok = True
+        self._event_pool.append(event)
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run until the heap drains, ``until`` is reached, or ``max_events``.
@@ -412,29 +552,145 @@ class Engine:
         ProcessCrashed
             If any process dies with an unhandled exception and nobody is
             waiting on it.
+
+        Notes
+        -----
+        This is the simulator's innermost loop: locals are hoisted, the
+        event-processing protocol (``Event._process`` plus the crash
+        check) is inlined, and the bound-free dispatch path (no ``until``,
+        no ``max_events``) skips the per-event bound checks entirely.
+        When no monitor and no metrics registry is attached at entry, a
+        bare variant with zero observer checks runs instead — attach
+        observers before calling ``run``; observers attached mid-run (from
+        a callback) are only guaranteed to be seen if at least one was
+        already attached at entry.
         """
+        heap = self._heap
+        pop = heapq.heappop
+        pool = self._event_pool
+        monitors = self._monitors
+        metrics = self.metrics
         count = 0
         try:
-            while self._heap:
-                if until is not None and self.peek() > until:
-                    self.now = until
-                    return
-                if max_events is not None and count >= max_events:
-                    raise SimulationError(f"exceeded max_events={max_events}")
-                time, _prio, _seq, event = heapq.heappop(self._heap)
-                self.now = time
-                if self._monitors:
-                    for monitor in self._monitors:
-                        monitor(time, event)
-                if self.metrics is not None:
-                    self.metrics.inc("sim.events.executed")
-                watched = bool(event.callbacks)
-                event._process()
-                if isinstance(event, Process) and not event.ok and not watched:
-                    self._raise_crash(event)
-                count += 1
+            if until is None and max_events is None and not monitors and metrics is None:
+                # Bare fast-dispatch kernel: no bounds, no observers.  The
+                # pop count falls out of arithmetic (pops = starting heap
+                # size + pushes − leftovers), so the loop body carries no
+                # counter either.
+                start_len = len(heap)
+                seq0 = self._seq
+                try:
+                    while heap:
+                        time, _prio, _seq, event = pop(heap)
+                        self.now = time
+                        # Inlined Event._process(): swap-before-iterate
+                        # keeps interrupt-during-dispatch semantics.
+                        event._state = PROCESSED
+                        if event._poolable:
+                            # Pooled events have no outside watchers by
+                            # contract, so nothing appends to `callbacks`
+                            # while it runs — the list object itself is
+                            # recycled with the event.  (`_ok` can never
+                            # go False on a pooled event: `fail` refuses
+                            # non-pending events.)
+                            waiter = event._waiter
+                            if waiter is not None:
+                                event._waiter = None
+                                waiter(event)
+                            callbacks = event.callbacks
+                            if callbacks:
+                                for fn in callbacks:
+                                    fn(event)
+                                del callbacks[:]
+                            event._value = None
+                            pool.append(event)
+                        else:
+                            callbacks = event.callbacks
+                            if callbacks:
+                                event.callbacks = []
+                                for fn in callbacks:
+                                    fn(event)
+                            elif event._crashable and not event._ok:
+                                self._raise_crash(event)
+                finally:
+                    count = start_len + (self._seq - seq0) - len(heap)
+            elif until is None and max_events is None:
+                # Fast-dispatch kernel with observers attached.
+                while heap:
+                    time, _prio, _seq, event = pop(heap)
+                    count += 1
+                    self.now = time
+                    if monitors:
+                        for monitor in monitors:
+                            monitor(time, event)
+                    if metrics is not None:
+                        metrics.inc("sim.events.executed")
+                    event._state = PROCESSED
+                    if event._poolable:
+                        waiter = event._waiter
+                        if waiter is not None:
+                            event._waiter = None
+                            waiter(event)
+                        callbacks = event.callbacks
+                        if callbacks:
+                            for fn in callbacks:
+                                fn(event)
+                            del callbacks[:]
+                        event._value = None
+                        event._ok = True
+                        pool.append(event)
+                    else:
+                        callbacks = event.callbacks
+                        if callbacks:
+                            event.callbacks = []
+                            for fn in callbacks:
+                                fn(event)
+                        elif event._crashable and not event._ok:
+                            self._raise_crash(event)
+            else:
+                while heap:
+                    if until is not None and heap[0][0] > until:
+                        self.now = until
+                        return
+                    if max_events is not None and count >= max_events:
+                        raise SimulationError(f"exceeded max_events={max_events}")
+                    time, _prio, _seq, event = pop(heap)
+                    count += 1
+                    self.now = time
+                    if monitors:
+                        for monitor in monitors:
+                            monitor(time, event)
+                    if metrics is not None:
+                        metrics.inc("sim.events.executed")
+                    event._state = PROCESSED
+                    if event._poolable:
+                        # Pooled events have no outside watchers by contract,
+                        # so nothing appends to `callbacks` while it runs —
+                        # the list object itself is recycled with the event.
+                        waiter = event._waiter
+                        if waiter is not None:
+                            event._waiter = None
+                            waiter(event)
+                        callbacks = event.callbacks
+                        if callbacks:
+                            for fn in callbacks:
+                                fn(event)
+                            del callbacks[:]
+                        event._value = None
+                        event._ok = True
+                        pool.append(event)
+                    else:
+                        callbacks = event.callbacks
+                        if callbacks:
+                            event.callbacks = []
+                            for fn in callbacks:
+                                fn(event)
+                        elif event._crashable and not event._ok:
+                            self._raise_crash(event)
         except StopEngine:
             return
+        finally:
+            self.events_executed += count
         if until is not None and until > self.now:
             self.now = until
 
@@ -447,20 +703,27 @@ class Engine:
         semantics as :meth:`run`).
         """
         done = self.all_of(events)
+        heap = self._heap
+        pop = heapq.heappop
         count = 0
-        while not done.triggered and self._heap:
-            if max_events is not None and count >= max_events:
-                raise SimulationError(
-                    f"exceeded max_events={max_events} in run_until_complete")
-            time, _prio, _seq, event = heapq.heappop(self._heap)
-            self.now = time
-            if self._monitors:
-                for monitor in self._monitors:
-                    monitor(time, event)
-            if self.metrics is not None:
-                self.metrics.inc("sim.events.executed")
-            event._process()
-            count += 1
+        try:
+            while not done.triggered and heap:
+                if max_events is not None and count >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} in run_until_complete")
+                time, _prio, _seq, event = pop(heap)
+                count += 1
+                self.now = time
+                if self._monitors:
+                    for monitor in self._monitors:
+                        monitor(time, event)
+                if self.metrics is not None:
+                    self.metrics.inc("sim.events.executed")
+                event._process()
+                if event._poolable:
+                    self._recycle(event)
+        finally:
+            self.events_executed += count
         if not done.triggered:
             raise SimulationError("event heap drained before awaited events triggered (deadlock?)")
         if not done.ok:

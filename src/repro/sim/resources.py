@@ -15,6 +15,7 @@ All waiters are served deterministically: ties broken by request order.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Optional
 
 from .engine import Engine, Event
@@ -38,6 +39,10 @@ class Store:
     an event that triggers with the next item.
     """
 
+    #: Subclasses whose getters carry extra matching state (``FilterStore``)
+    #: set this False to disable the direct producer→consumer fast path.
+    _simple = True
+
     def __init__(self, engine: Engine, capacity: float = float("inf"), name: str = ""):
         if capacity <= 0:
             raise ValueError("capacity must be positive")
@@ -45,15 +50,19 @@ class Store:
         self.capacity = capacity
         self.name = name
         self.items: list[Any] = []
-        self._getters: list[Event] = []
-        self._putters: list[tuple[Event, Any]] = []
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+        # Event labels, precomputed once: get/put run per message on the
+        # scheduler hot path and must not pay an f-string each call.
+        self._get_name = f"{name}.get"
+        self._put_name = f"{name}.put"
 
     def __len__(self) -> int:
         return len(self.items)
 
     # -- operations ---------------------------------------------------------
     def put(self, item: Any) -> Event:
-        ev = self.engine.event(name=f"{self.name}.put")
+        ev = Event(self.engine, name=self._put_name)
         self._putters.append((ev, item))
         self._dispatch()
         return ev
@@ -64,13 +73,30 @@ class Store:
         Raises if the store is at capacity — callers use this only on
         unbounded stores (message queues, stream op queues).
         """
-        if len(self.items) >= self.capacity:
+        items = self.items
+        if len(items) >= self.capacity:
             raise SimulationError(f"put_nowait on full store {self.name!r}")
+        # Fast path: no queued putters means _dispatch reduces to "hand the
+        # item to the first waiting getter, or shelve it".  (Simple stores
+        # never hold items and getters simultaneously, so handing the fresh
+        # item over directly serves the same getter with the same value.)
+        if self._simple and not self._putters:
+            if self._getters and not items:
+                self._getters.popleft().succeed(item)
+            else:
+                self._store_item(item)
+            return
         self._store_item(item)
         self._dispatch()
 
     def get(self) -> Event:
-        ev = self.engine.event(name=f"{self.name}.get")
+        ev = Event(self.engine, name=self._get_name)
+        if self._simple and not self._putters:
+            if self.items:
+                ev.succeed(self._pop_item())
+            else:
+                self._getters.append(ev)
+            return ev
         self._getters.append(ev)
         self._dispatch()
         return ev
@@ -89,7 +115,7 @@ class Store:
     # -- internals ----------------------------------------------------------
     def _admit_putters(self) -> None:
         while self._putters and len(self.items) < self.capacity:
-            ev, item = self._putters.pop(0)
+            ev, item = self._putters.popleft()
             self._store_item(item)
             ev.succeed()
 
@@ -102,7 +128,7 @@ class Store:
     def _dispatch(self) -> None:
         self._admit_putters()
         while self._getters and self.items:
-            getter = self._getters.pop(0)
+            getter = self._getters.popleft()
             getter.succeed(self._pop_item())
             self._admit_putters()
 
@@ -115,8 +141,10 @@ class FilterStore(Store):
     SimPy's FilterStore and is what message-matching needs).
     """
 
+    _simple = False
+
     def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> Event:  # type: ignore[override]
-        ev = self.engine.event(name=f"{self.name}.get")
+        ev = Event(self.engine, name=self._get_name)
         self._getters.append((ev, predicate))  # type: ignore[arg-type]
         self._dispatch()
         return ev
@@ -181,7 +209,7 @@ class Request(Event):
     __slots__ = ("resource", "priority", "amount")
 
     def __init__(self, resource: "Resource", priority: float, amount: int):
-        super().__init__(resource.engine, name=f"{resource.name}.request")
+        super().__init__(resource.engine, name=resource._request_name)
         self.resource = resource
         self.priority = priority
         self.amount = amount
@@ -202,6 +230,7 @@ class Resource:
         self.engine = engine
         self.capacity = capacity
         self.name = name
+        self._request_name = f"{name}.request"
         self.in_use = 0
         self._waiters: list[tuple[float, int, Request]] = []
         self._counter = 0
@@ -274,12 +303,13 @@ class TokenPool:
         self.capacity = capacity
         self.level = capacity
         self.name = name
-        self._waiters: list[tuple[Event, int]] = []
+        self._waiters: deque[tuple[Event, int]] = deque()
+        self._acquire_name = f"{name}.acquire"
 
     def acquire(self, n: int = 1) -> Event:
         if n < 1 or n > self.capacity:
             raise ValueError(f"cannot acquire {n} of {self.capacity} tokens")
-        ev = self.engine.event(name=f"{self.name}.acquire")
+        ev = Event(self.engine, name=self._acquire_name)
         self._waiters.append((ev, n))
         self._grant()
         return ev
@@ -292,6 +322,6 @@ class TokenPool:
 
     def _grant(self) -> None:
         while self._waiters and self._waiters[0][1] <= self.level:
-            ev, n = self._waiters.pop(0)
+            ev, n = self._waiters.popleft()
             self.level -= n
             ev.succeed(n)

@@ -181,7 +181,35 @@ def test_yield_non_event_crashes_process():
     eng = Engine()
 
     def bad():
-        yield 42  # type: ignore[misc]
+        yield "not an event"  # type: ignore[misc]
+
+    eng.process(bad())
+    with pytest.raises(ProcessCrashed):
+        eng.run()
+
+
+def test_yield_bare_number_pauses():
+    # `yield delay` is shorthand for `yield eng.pause(delay)`: same clock
+    # advance, same resume value (None), ints and floats both accepted.
+    eng = Engine()
+    log = []
+
+    def proc():
+        got = yield 1.5
+        log.append((eng.now, got))
+        got = yield 2
+        log.append((eng.now, got))
+
+    eng.process(proc())
+    eng.run()
+    assert log == [(1.5, None), (3.5, None)]
+
+
+def test_yield_negative_number_crashes_process():
+    eng = Engine()
+
+    def bad():
+        yield -0.1
 
     eng.process(bad())
     with pytest.raises(ProcessCrashed):
