@@ -1,0 +1,95 @@
+"""DAG-throughput microbenchmark: the tiled-Cholesky app end to end.
+
+Not a paper figure: this pins how fast the simulator retires *dependent*
+tasks — the task-DAG analogue of ``bench_engine``'s events/sec.  Stencil
+benches exercise a fixed neighbour pattern; Cholesky stresses the other
+regime: per-step task lists of varying width, cross-stream gating through
+the TaskSpace ledger, and factor-tile messages whose fan-out changes every
+elimination step.
+
+One modeled charm-d factorization (``TILES``-square tile grid,
+overdecomposed) is timed best-of-``ROUNDS``; the deterministic task and
+event counts come from one observed run.  The entry lands in the
+``cholesky`` slot of ``results/bench_meta.json`` with lower-is-better
+``us_per_event`` costs (``task`` = microseconds per retired DAG task,
+``event`` = microseconds per engine event), which ``repro perf compare``
+extracts — so DAG-dispatch speed cannot silently regress.
+
+``REPRO_BENCH_TPS_FLOOR`` (tasks/sec, default 2000) sets the absolute
+floor asserted here — generous for slow CI machines, tight enough to
+catch a complexity slip in task gating.
+"""
+
+import os
+import time
+from datetime import datetime, timezone
+
+from conftest import BENCH_META_PATH, RESULTS_DIR
+
+from repro.apps import run_app
+from repro.apps.cholesky import CholeskyConfig
+from repro.obs import Observatory, append_bench_history
+
+#: Wall-clock rounds; the best round is recorded (the schedule is
+#: deterministic, only the timing jitters).
+ROUNDS = 3
+
+TILES = 16
+
+TPS_FLOOR = float(os.environ.get("REPRO_BENCH_TPS_FLOOR", "2000"))
+
+CONFIG = CholeskyConfig(version="charm-d", nodes=2, tiles=TILES, tile=64,
+                        odf=2)
+
+
+def dag_counts() -> tuple[int, int]:
+    """(tasks, engine events) of one run, measured once under observation
+    (observers are pure: the bare timed runs execute the same schedule)."""
+    obs = Observatory()
+    ctx_out: list = []
+    run_app(CONFIG, observatory=obs, context_out=ctx_out)
+    tasks = ctx_out[0].tasks
+    tasks.check_all_finished()
+    return len(tasks), obs.engine.events_executed
+
+
+def test_cholesky_dag_tasks_per_sec(benchmark):
+    n_tasks, n_events = dag_counts()
+
+    def timed() -> float:
+        best = float("inf")
+        for _ in range(ROUNDS):
+            t0 = time.perf_counter()
+            run_app(CONFIG)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    wall = benchmark.pedantic(timed, rounds=1, iterations=1)
+    tasks_per_sec = n_tasks / wall
+    entry = {
+        "tiles": TILES,
+        "tasks": n_tasks,
+        "events": n_events,
+        "tasks_per_sec": round(tasks_per_sec, 1),
+        "us_per_event": {
+            "task": round(1e6 * wall / n_tasks, 4),
+            "event": round(1e6 * wall / n_events, 4),
+        },
+        "wall_s": round(wall, 6),
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    append_bench_history(
+        BENCH_META_PATH, "cholesky", entry, now=datetime.now(timezone.utc),
+    )
+
+    print(f"\n[cholesky] {n_tasks} tasks / {n_events} events in "
+          f"{wall:.3f}s = {tasks_per_sec:,.0f} tasks/s")
+    # A 16x16 tile grid declares the full third-order task count.
+    assert n_tasks == sum(
+        1 + (TILES - 1 - k) + (TILES - 1 - k) * (TILES - k) // 2
+        for k in range(TILES)
+    )
+    assert tasks_per_sec >= TPS_FLOOR, (
+        f"DAG dispatch fell below the absolute floor "
+        f"({tasks_per_sec:,.0f} < {TPS_FLOOR:,.0f} tasks/s)"
+    )

@@ -10,13 +10,18 @@ The app framework has three pieces:
   dimension-generic geometry, config, context, and the charm/mpi/ampi
   frontends with fusion strategies and the CUDA-graphs path.
 * The registered workloads: :mod:`~repro.apps.jacobi3d` (the paper's
-  7-point 3D proxy app) and :mod:`~repro.apps.jacobi2d` (a 5-point 2D
-  stencil proving the abstraction).
+  7-point 3D proxy app), :mod:`~repro.apps.jacobi2d` (a 5-point 2D
+  stencil proving the abstraction), :mod:`~repro.apps.cholesky` (a tiled
+  Cholesky factorization exercising dependency-driven task DAGs), and
+  :mod:`~repro.apps.allreduce` (ring/tree allreduce collectives over the
+  simulated network).
 
-Importing this package registers both apps.
+Importing this package registers all apps.
 """
 
 from . import registry as registry  # noqa: F401  (import order matters)
+from .allreduce import AllreduceConfig, AllreduceResult
+from .cholesky import CholeskyConfig, CholeskyResult
 from .driver import run_app
 from .jacobi2d import Jacobi2DConfig, Jacobi2DResult
 from .jacobi3d import (
@@ -67,5 +72,9 @@ __all__ = [
     "Jacobi3DResult",
     "Jacobi2DConfig",
     "Jacobi2DResult",
+    "CholeskyConfig",
+    "CholeskyResult",
+    "AllreduceConfig",
+    "AllreduceResult",
     "run_jacobi3d",
 ]

@@ -1,0 +1,28 @@
+"""AMPI allreduce frontend: the *unchanged* MPI rank program on Charm++,
+with ``odf`` virtual ranks per PE.  Virtual ranks blocked in a chunk wait
+suspend, letting co-located ranks drive their own rounds — latency hiding
+for the collective without touching the program."""
+
+from __future__ import annotations
+
+from ...ampi import AmpiProcess
+from .context import AllreduceContext
+from .rank_program import make_allreduce_rank_program
+
+__all__ = ["make_allreduce_ampi_rank_class"]
+
+
+def make_allreduce_ampi_rank_class(ctx: AllreduceContext):
+    """A fresh virtual-rank class bound to this run's context."""
+
+    class AllreduceAmpiRank(make_allreduce_rank_program(ctx), AmpiProcess):
+        def init(self):
+            # pe/gpu are bound only when the hosting chare attaches —
+            # device setup must wait for main().
+            self._bind_unit()
+
+        def main(self, msg=None):
+            self._setup_device()
+            yield from self._main_body()
+
+    return AllreduceAmpiRank

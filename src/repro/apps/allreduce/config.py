@@ -1,0 +1,84 @@
+"""Allreduce app config and result."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..appbase import AppResult, BaseAppConfig
+
+__all__ = ["AllreduceConfig", "AllreduceResult"]
+
+ALGORITHMS = ("ring", "tree")
+
+#: Functional mode materializes every unit's full vector; cap the order so
+#: a typo cannot allocate gigabytes.
+_FUNCTIONAL_ELEMENT_LIMIT = 1 << 22
+
+
+@dataclass(frozen=True)
+class AllreduceConfig(BaseAppConfig):
+    """One allreduce benchmark run.
+
+    ``elements`` is the vector length (float64); every iteration performs
+    one full allreduce of that vector.  ``algorithm`` picks ring
+    (bandwidth-optimal reduce-scatter + allgather) or binomial tree
+    (latency-optimal); ``chunks`` splits each transfer for pipelined
+    double-buffered overlap of communication with the local reduction
+    kernels — ``chunks=1`` is the unpipelined single-stage baseline.
+
+    The stencil axes that are meaningless for a collective (grid, fusion
+    strategy, CUDA graphs) simply do not exist on this config, so the
+    differential matrix and sweeps never enumerate them.
+    """
+
+    APP = "allreduce"
+
+    elements: int = 1 << 16
+    algorithm: str = "ring"
+    chunks: int = 1
+    iterations: int = 4
+    warmup: int = 1
+    seed: int = 1234
+
+    def __post_init__(self):
+        self._validate_common()
+        if self.elements < 0:
+            raise ValueError("elements must be >= 0")
+        if self.algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {self.algorithm!r}; expected one of {ALGORITHMS}")
+        if self.chunks < 1:
+            raise ValueError("chunks must be >= 1")
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if self.warmup < 0:
+            raise ValueError("warmup must be >= 0")
+        if self.functional and self.elements > _FUNCTIONAL_ELEMENT_LIMIT:
+            raise ValueError(
+                f"functional mode caps elements at {_FUNCTIONAL_ELEMENT_LIMIT}")
+
+    def vector_bytes(self) -> int:
+        return 8 * self.elements
+
+
+@dataclass
+class AllreduceResult(AppResult):
+    """An :class:`~repro.apps.appbase.AppResult` whose functional state is
+    every unit's final reduced vector — identical everywhere by definition
+    of allreduce, and checked to be so."""
+
+    def assemble_state(self) -> np.ndarray:
+        """The reduced vector, after verifying every unit holds the *same*
+        bits (an allreduce whose replicas disagree is broken even if one
+        replica happens to match the reference)."""
+        if self.blocks is None:
+            raise ValueError("assemble_state() needs a functional-mode result")
+        vectors = [self.blocks[key] for key in sorted(self.blocks)]
+        first = vectors[0]
+        for v in vectors[1:]:
+            if v.shape != first.shape or v.tobytes() != first.tobytes():
+                raise AssertionError(
+                    "allreduce replicas disagree: units hold different vectors")
+        return first.copy()

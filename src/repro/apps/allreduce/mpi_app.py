@@ -1,0 +1,25 @@
+"""Plain-MPI allreduce frontend: one rank per GPU, the shared rank program
+from :mod:`.rank_program` with device setup at construction time."""
+
+from __future__ import annotations
+
+from ...mpi import MpiProcess
+from .context import AllreduceContext
+from .rank_program import make_allreduce_rank_program
+
+__all__ = ["make_allreduce_rank_class"]
+
+
+def make_allreduce_rank_class(ctx: AllreduceContext):
+    """A fresh rank class bound to this run's context."""
+
+    class AllreduceRank(make_allreduce_rank_program(ctx), MpiProcess):
+        def init(self):
+            # pe/gpu are bound at construction: device setup happens here.
+            self._bind_unit()
+            self._setup_device()
+
+        def main(self, msg=None):
+            yield from self._main_body()
+
+    return AllreduceRank

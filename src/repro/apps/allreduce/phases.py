@@ -1,0 +1,35 @@
+"""Phase classification for allreduce timelines."""
+
+from __future__ import annotations
+
+__all__ = ["ALLREDUCE_PHASES", "classify_allreduce_op"]
+
+#: Phase vocabulary for timeline/criticality analysis: the two halves of
+#: the collective (reduction rounds vs. distribution rounds), chunk
+#: staging copies, and the wire.
+ALLREDUCE_PHASES = ("init", "reduce-scatter", "allgather", "chunk", "nic",
+                    "other")
+
+
+def classify_allreduce_op(category: str, op_name: str) -> str:
+    """Map a traced op to its allreduce phase.
+
+    Reduction kernels (``rs.*`` ring reduce-scatter, ``tr.*`` tree reduce)
+    count as ``reduce-scatter``; distribution kernels (``ag.*`` ring
+    allgather, ``tb.*`` tree broadcast) as ``allgather``; the per-iteration
+    input materialization as ``init``; host staging copies as ``chunk``;
+    D2D copies are the transport leg of same-device sends (``nic``).
+    """
+    if category in ("gpu.copy_d2h", "gpu.copy_h2d"):
+        return "chunk"
+    if category == "gpu.copy_d2d" or category.startswith("net."):
+        return "nic"
+    if category == "gpu.compute":
+        name = op_name[6:] if op_name.startswith("graph.") else op_name
+        if name.startswith("init"):
+            return "init"
+        if name.startswith(("rs.", "tr.")):
+            return "reduce-scatter"
+        if name.startswith(("ag.", "tb.")):
+            return "allgather"
+    return "other"

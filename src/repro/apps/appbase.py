@@ -1,0 +1,269 @@
+"""Shared config/result machinery for non-stencil applications.
+
+The stencil family grew its own config/result base first
+(:mod:`repro.apps.stencil.config`); this module factors the app-agnostic
+half of that contract so task-DAG and collective apps (cholesky,
+allreduce) can plug into the same driver, cache, differential matrix and
+golden store without inheriting stencil-only axes (grid, fusion, CUDA
+graphs, legacy sync).
+
+* :class:`BaseAppConfig` — the minimal config surface the generic driver
+  (:func:`repro.apps.driver.run_app`) and the exec layer rely on:
+  version/nodes/odf/data_mode/machine plus the derived predicates and the
+  ``to_dict``/``from_dict``/cache-key conventions.
+* :class:`AppResult` — the measured outcome every app run produces; the
+  driver constructs it field-by-field, so its field list *is* the driver
+  contract.  :class:`~repro.apps.stencil.config.StencilResult` subclasses
+  it (adding grid assembly), as do the cholesky/allreduce results.
+* :class:`FallbackMetrics` — a :class:`~repro.apps.stencil.context.
+  MetricsCollector` whose period estimate degrades gracefully for runs
+  with a single measured step (e.g. a one-tile Cholesky factorization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Any, ClassVar, Optional
+
+from ..hardware.specs import MachineSpec
+
+__all__ = ["ALL_VERSIONS", "AppResult", "BaseAppConfig", "FallbackMetrics"]
+
+#: Same runnable-frontend vocabulary as the stencil apps (paper's four
+#: versions plus the AMPI extension pair).
+ALL_VERSIONS = ("mpi-h", "mpi-d", "charm-h", "charm-d", "ampi-h", "ampi-d")
+
+
+@dataclass(frozen=True)
+class BaseAppConfig:
+    """Config base for non-stencil apps.
+
+    Subclasses declare :attr:`APP`, append their own axes, and call
+    :meth:`_validate_common` from ``__post_init__``.  ``iterations`` and
+    ``warmup`` are *not* fields here — iterative apps add them as fields,
+    DAG apps derive them (Cholesky's step count is its tile count).
+    """
+
+    #: Registry name of the app this config class belongs to.
+    APP: ClassVar[str] = ""
+
+    version: str = "charm-d"
+    nodes: int = 1
+    odf: int = 1
+    data_mode: str = "modeled"
+    machine: MachineSpec = None  # type: ignore[assignment]
+
+    def _validate_common(self) -> None:
+        if not type(self).APP:
+            raise TypeError("BaseAppConfig is abstract: subclasses must set APP")
+        if self.machine is None:
+            object.__setattr__(self, "machine", MachineSpec.summit())
+        if self.version not in ALL_VERSIONS:
+            raise ValueError(
+                f"unknown version {self.version!r}; expected one of {ALL_VERSIONS}")
+        if self.nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        if self.odf < 1:
+            raise ValueError("odf must be >= 1")
+        if self.is_mpi and self.odf != 1:
+            raise ValueError("MPI versions run one rank per GPU (odf must be 1)")
+        if self.data_mode not in ("modeled", "functional"):
+            raise ValueError(f"bad data_mode {self.data_mode!r}")
+
+    # -- derived (same vocabulary as StencilConfig) -------------------------
+    @property
+    def app(self) -> str:
+        """Registry name of this config's app."""
+        return type(self).APP
+
+    @property
+    def is_mpi(self) -> bool:
+        return self.version.startswith("mpi")
+
+    @property
+    def is_charm(self) -> bool:
+        return self.version.startswith("charm")
+
+    @property
+    def is_ampi(self) -> bool:
+        return self.version.startswith("ampi")
+
+    @property
+    def gpu_aware(self) -> bool:
+        """Device-resident payloads (CUDA-aware MPI / Channel API)."""
+        return self.version.endswith("-d")
+
+    @property
+    def functional(self) -> bool:
+        return self.data_mode == "functional"
+
+    @property
+    def total_iterations(self) -> int:
+        return self.warmup + self.iterations
+
+    def n_pes(self) -> int:
+        return self.nodes * self.machine.node.pes_per_node
+
+    def n_blocks(self) -> int:
+        """Participating units: one per PE for MPI, ``odf`` per PE for the
+        overdecomposed runtimes."""
+        return self.n_pes() * (1 if self.is_mpi else self.odf)
+
+    def with_(self, **kwargs) -> "BaseAppConfig":
+        """A modified copy (sweep/matrix helper)."""
+        return replace(self, **kwargs)
+
+    # -- serialization -------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-data form; the ``app`` name leads so the content-addressed
+        cache (:mod:`repro.exec.cache`) never aliases two apps' runs."""
+        out = {"app": type(self).APP}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            out[f.name] = value.to_dict() if f.name == "machine" else value
+        return out
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "BaseAppConfig":
+        """Inverse of :meth:`to_dict` (revalidates via ``__post_init__``).
+        ``app`` (when present) must name *this* class's app — use
+        :func:`repro.apps.registry.config_from_dict` to dispatch a dict of
+        unknown provenance."""
+        d = dict(d)
+        app = d.pop("app", cls.APP)
+        if app != cls.APP:
+            raise ValueError(
+                f"config dict is for app {app!r}, not {cls.APP!r} "
+                "(use repro.apps.registry.config_from_dict)"
+            )
+        if isinstance(d.get("machine"), dict):
+            d["machine"] = MachineSpec.from_dict(d["machine"])
+        return cls(**d)
+
+
+@dataclass
+class AppResult:
+    """Measured outcome of one app run.
+
+    The generic driver constructs this field-by-field, so every registered
+    app's result class is this dataclass (or a subclass adding app-specific
+    assembly helpers).  ``max_halo_bytes`` is the largest single message
+    payload of the run — named after the stencil apps' halos for cache/golden
+    continuity, but any app's dominant payload (a Cholesky tile, an
+    allreduce chunk) lands in the same field.
+    """
+
+    config: Any
+    total_time: float
+    warmup_boundary: float
+    time_per_iteration: float
+    gpu_busy_s: float
+    gpu_utilization: float
+    pe_busy_s: float
+    messages_sent: int
+    bytes_sent: int
+    protocol_counts: dict
+    overlap_s: float
+    max_halo_bytes: int
+    blocks: Optional[dict] = None  # functional mode: unit index -> final data
+    residuals: Optional[list] = None  # functional mode: per-iteration exact combiner
+
+    def assemble_state(self):
+        """Stitch functional-mode per-unit data into one comparable global
+        array (the differential matrix compares this bitwise across
+        frontends).  Subclasses implement the app-specific assembly."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement assemble_state()")
+
+    # -- serialization -------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready form for cache persistence.  Functional-mode results
+        carry NumPy data and are deliberately not serializable (they are
+        also the one case where re-running is the point)."""
+        if self.blocks is not None:
+            raise ValueError("functional-mode results (with blocks) are not serializable")
+        return {
+            "config": self.config.to_dict(),
+            "total_time": self.total_time,
+            "warmup_boundary": self.warmup_boundary,
+            "time_per_iteration": self.time_per_iteration,
+            "gpu_busy_s": self.gpu_busy_s,
+            "gpu_utilization": self.gpu_utilization,
+            "pe_busy_s": self.pe_busy_s,
+            "messages_sent": self.messages_sent,
+            "bytes_sent": self.bytes_sent,
+            "protocol_counts": {p.value: c for p, c in self.protocol_counts.items()},
+            "overlap_s": self.overlap_s,
+            "max_halo_bytes": self.max_halo_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "AppResult":
+        """Inverse of :meth:`to_dict`.  Floats round-trip exactly through
+        JSON (``repr`` round-trip), so a cached result is bit-identical to
+        the run that produced it.  The embedded config dict is dispatched to
+        the right app's config class via the registry."""
+        from ..comm.protocols import Protocol
+        from .registry import config_from_dict
+
+        return cls(
+            config=config_from_dict(d["config"]),
+            total_time=d["total_time"],
+            warmup_boundary=d["warmup_boundary"],
+            time_per_iteration=d["time_per_iteration"],
+            gpu_busy_s=d["gpu_busy_s"],
+            gpu_utilization=d["gpu_utilization"],
+            pe_busy_s=d["pe_busy_s"],
+            messages_sent=d["messages_sent"],
+            bytes_sent=d["bytes_sent"],
+            protocol_counts={Protocol(k): v for k, v in d["protocol_counts"].items()},
+            overlap_s=d["overlap_s"],
+            max_halo_bytes=d["max_halo_bytes"],
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        cfg = self.config
+        odf = f" (odf={cfg.odf})" if not cfg.is_mpi else ""
+        return (
+            f"{cfg.app} {cfg.version}{odf} nodes={cfg.nodes}: "
+            f"{self.time_per_iteration * 1e3:.3f} ms/iter, "
+            f"GPU util {self.gpu_utilization * 100:.0f}%"
+        )
+
+
+_FALLBACK_METRICS = None
+
+
+def _make_fallback_metrics():
+    """Deferred import: the stencil config imports this module, so building
+    the subclass at load time would close an import cycle through
+    ``stencil.context``."""
+    from .stencil.context import MetricsCollector
+
+    class FallbackMetrics(MetricsCollector):
+        """A :class:`MetricsCollector` that degrades gracefully when no unit
+        records two post-warmup completions (a one-step run, e.g. a
+        single-tile Cholesky): the period falls back to the whole measured
+        window divided by the measured step count."""
+
+        def time_per_iteration(self, measured_iterations: int) -> float:
+            try:
+                return super().time_per_iteration(measured_iterations)
+            except RuntimeError:
+                finishes = [t[-1] for t in self._tail_times.values() if t]
+                if not finishes:
+                    raise
+                window = max(finishes) - self.warmup_boundary
+                return window / max(1, measured_iterations)
+
+    return FallbackMetrics
+
+
+def __getattr__(name):  # PEP 562: lazy FallbackMetrics (import-cycle break)
+    global _FALLBACK_METRICS
+    if name == "FallbackMetrics":
+        if _FALLBACK_METRICS is None:
+            _FALLBACK_METRICS = _make_fallback_metrics()
+        return _FALLBACK_METRICS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

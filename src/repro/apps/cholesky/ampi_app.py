@@ -1,0 +1,28 @@
+"""AMPI Cholesky frontend: the *unchanged* MPI rank program on Charm++,
+with ``odf`` virtual ranks per PE.  Overdecomposition is exactly what a
+task-DAG workload wants: panel-critical ranks suspend in ``wait`` and
+other virtual ranks on the PE fill the gap with trailing updates."""
+
+from __future__ import annotations
+
+from ...ampi import AmpiProcess
+from .context import CholeskyContext
+from .rank_program import make_cholesky_rank_program
+
+__all__ = ["make_cholesky_ampi_rank_class"]
+
+
+def make_cholesky_ampi_rank_class(ctx: CholeskyContext):
+    """A fresh virtual-rank class bound to this run's context."""
+
+    class CholeskyAmpiRank(make_cholesky_rank_program(ctx), AmpiProcess):
+        def init(self):
+            # pe/gpu are bound only when the hosting chare attaches —
+            # device setup must wait for main().
+            self._bind_unit()
+
+        def main(self, msg=None):
+            self._setup_device()
+            yield from self._main_body()
+
+    return CholeskyAmpiRank

@@ -1,0 +1,89 @@
+"""Config and result types for the tiled Cholesky task-DAG app."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..appbase import AppResult, BaseAppConfig
+
+__all__ = ["CholeskyConfig", "CholeskyResult"]
+
+# Functional mode allocates the full matrix plus per-unit tiles; keep it
+# for test-scale problems.
+_FUNCTIONAL_ORDER_LIMIT = 2048
+
+
+@dataclass(frozen=True)
+class CholeskyConfig(BaseAppConfig):
+    """One tiled-Cholesky run.
+
+    The matrix is ``(tiles * tile)``-square, decomposed into a lower
+    triangle of ``tile``-square tiles owned round-robin by the
+    participating units.  One "iteration" is one elimination step ``k``
+    (POTRF + its TRSM panel + the trailing Schur updates), so
+    ``iterations == tiles`` and there is no warmup — the DAG runs once.
+
+    ``seed`` fixes the functional-mode input matrix (see
+    :func:`~repro.apps.cholesky.ops.generate_spd`).
+    """
+
+    APP = "cholesky"
+
+    tiles: int = 8
+    tile: int = 64
+    seed: int = 1234
+
+    def __post_init__(self):
+        self._validate_common()
+        if self.tiles < 1:
+            raise ValueError("tiles must be >= 1")
+        if self.tile < 1:
+            raise ValueError("tile must be >= 1")
+        if self.functional and self.tiles * self.tile > _FUNCTIONAL_ORDER_LIMIT:
+            raise ValueError(
+                f"functional mode with a {self.tiles * self.tile}-square matrix "
+                "would allocate real arrays; use modeled mode or a smaller problem"
+            )
+
+    @property
+    def n(self) -> int:
+        """Matrix order."""
+        return self.tiles * self.tile
+
+    @property
+    def iterations(self) -> int:
+        """One measured 'iteration' per elimination step."""
+        return self.tiles
+
+    @property
+    def warmup(self) -> int:
+        """A factorization runs once; there is nothing to warm up."""
+        return 0
+
+    def tile_bytes(self) -> int:
+        return 8 * self.tile * self.tile
+
+
+@dataclass
+class CholeskyResult(AppResult):
+    """Measured outcome of one tiled-Cholesky run.  In functional mode
+    ``blocks`` maps unit key -> ``{(i, j): tile}`` (that unit's owned
+    tiles of the computed factor) and ``residuals`` holds the
+    per-elimination-step exact update magnitudes."""
+
+    def assemble_state(self) -> np.ndarray:
+        """The assembled lower-triangular factor (differential/bitwise
+        comparison target; matches ``np.linalg.cholesky`` of the input)."""
+        if self.blocks is None:
+            raise ValueError("assemble_state requires a functional-mode run")
+        cfg = self.config
+        b = cfg.tile
+        out = np.zeros((cfg.n, cfg.n), dtype=np.float64)
+        for owned in self.blocks.values():
+            for (i, j), data in owned.items():
+                out[i * b:(i + 1) * b, j * b:(j + 1) * b] = (
+                    np.tril(data) if i == j else data
+                )
+        return out

@@ -1,0 +1,34 @@
+"""Declared cost-phase vocabulary for the Cholesky app.
+
+The observability layer consumes an app-declared phase tuple and trace
+classifier instead of a hardcoded stencil vocabulary; for a task-DAG app
+the natural decomposition is by task kind: ``factor`` (POTRF),
+``panel`` (the TRSM panel solves) and ``update`` (the SYRK/GEMM Schur
+updates), plus the usual transport phases.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CHOLESKY_PHASES", "classify_cholesky_op"]
+
+CHOLESKY_PHASES = ("factor", "panel", "update", "d2h", "nic", "h2d", "other")
+
+
+def classify_cholesky_op(category: str, op_name: str) -> str:
+    """Map one trace record to a phase (same contract as the stencil
+    classifier: ``(category, op name) -> phase``)."""
+    if category == "gpu.copy_d2h":
+        return "d2h"
+    if category == "gpu.copy_h2d":
+        return "h2d"
+    if category == "gpu.copy_d2d" or category.startswith("net."):
+        return "nic"
+    if category == "gpu.compute":
+        name = op_name[6:] if op_name.startswith("graph.") else op_name
+        if name.startswith("potrf."):
+            return "factor"
+        if name.startswith("trsm."):
+            return "panel"
+        if name.startswith(("syrk.", "gemm.")):
+            return "update"
+    return "other"

@@ -29,6 +29,7 @@ def run_app(
     initial_state: Optional[dict] = None,
     validate: bool = False,
     observatory=None,
+    context_out: Optional[list] = None,
 ):
     """Simulate one run of ``config``'s app; returns measurements (and, in
     functional mode, every block's final interior).
@@ -47,6 +48,11 @@ def run_app(
     ``observatory`` (an :class:`~repro.obs.Observatory`) attaches a tracer
     *and* a metrics registry for perf reporting; pass either it or a bare
     ``tracer``, not both.
+
+    ``context_out`` (a list): receives the app context right after
+    construction, so post-run audits can read app-side ledgers — the DAG
+    property suite inspects the Cholesky
+    :class:`~repro.runtime.taskspace.TaskSpace` journal through this hook.
     """
     spec = spec_for(config)
     if observatory is not None and tracer is not None:
@@ -62,6 +68,8 @@ def run_app(
         checker = InvariantChecker().attach(engine)
         checker.watch_cluster(cluster)
     ctx = spec.make_context(config, initial_state=initial_state)
+    if context_out is not None:
+        context_out.append(ctx)
     metrics = ctx.metrics
 
     def observer(name, unit, **data):
@@ -78,7 +86,7 @@ def run_app(
             checker.watch_ucx(runtime.ucx)
             checker.watch_runtime(runtime)
         array = runtime.create_array(
-            spec.make_block_class(ctx), shape=ctx.shape, mapping="block", name="jacobi"
+            spec.make_block_class(ctx), shape=ctx.shape, mapping="block", name=spec.name
         )
         array.broadcast("run")
         runtime.run()
@@ -140,7 +148,7 @@ def run_app(
         bytes_sent=cluster.network.bytes_sent,
         protocol_counts=dict(ucx.protocol_counts),
         overlap_s=overlap,
-        max_halo_bytes=ctx.geometry.max_face_bytes(),
+        max_halo_bytes=ctx.max_payload_bytes(),
         blocks=blocks,
         residuals=ctx.residuals.history() if config.functional else None,
     )

@@ -66,6 +66,13 @@ class AppSpec:
     differential_base: Callable
     #: ``() -> {name: config}``: canonical configs pinned in the golden store.
     golden_configs: Callable
+    #: Optional ``(base, quick) -> [(label, config), ...]``: the app's own
+    #: differential matrix.  ``None`` selects the stencil-shaped default
+    #: (:func:`repro.validate.differential.default_matrix`) — apps without
+    #: fusion/graphs axes, or whose numerics constrain which axes may vary
+    #: (an allreduce sum depends on the contributor count), declare their
+    #: own cases here.
+    differential_cases: Optional[Callable] = None
 
     def __post_init__(self):
         if self.name != getattr(self.config_cls, "APP", None):
@@ -117,9 +124,19 @@ def spec_for(config) -> AppSpec:
 def config_from_dict(d: dict) -> object:
     """Revive a config dict produced by any registered app's ``to_dict``
     (dicts written before the ``app`` field existed read as
-    :data:`DEFAULT_APP`)."""
-    spec = get_app(d.get("app", DEFAULT_APP))
-    return spec.config_cls.from_dict(d)
+    :data:`DEFAULT_APP`).
+
+    Raises :class:`KeyError` naming the unknown app and listing the
+    registered names when the dict's ``app`` field matches no registered
+    application (a stale cache entry, a typo in a hand-written dict, or an
+    app package that was not imported)."""
+    name = d.get("app", DEFAULT_APP)
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"config dict names unknown app {name!r}; registered apps: "
+            f"{', '.join(app_names()) or 'none'}"
+        )
+    return _REGISTRY[name].config_cls.from_dict(d)
 
 
 def result_from_dict(d: dict, expected: Optional[AppSpec] = None) -> object:

@@ -17,12 +17,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Any, ClassVar, Optional
+from typing import Any, ClassVar
 
 import numpy as np
 
 from ...hardware.specs import MachineSpec
 from ...kernels.fusion import FusionStrategy
+from ..appbase import AppResult
 
 __all__ = ["StencilConfig", "StencilResult", "VERSIONS", "ALL_VERSIONS"]
 
@@ -231,24 +232,12 @@ class StencilConfig:
 
 
 @dataclass
-class StencilResult:
-    """Measured outcome of one stencil-app run (shared across apps; the
-    producing app is pinned by ``config``)."""
-
-    config: StencilConfig
-    total_time: float
-    warmup_boundary: float
-    time_per_iteration: float
-    gpu_busy_s: float
-    gpu_utilization: float
-    pe_busy_s: float
-    messages_sent: int
-    bytes_sent: int
-    protocol_counts: dict
-    overlap_s: float
-    max_halo_bytes: int
-    blocks: Optional[dict] = None  # functional mode: index -> interior array
-    residuals: Optional[list] = None  # functional mode: per-iteration max-norm deltas
+class StencilResult(AppResult):
+    """Measured outcome of one stencil-app run (shared across stencil apps;
+    the producing app is pinned by ``config``).  The measured fields live on
+    :class:`~repro.apps.appbase.AppResult`; this subclass adds grid
+    assembly.  In functional mode ``blocks`` maps block index -> interior
+    array and ``residuals`` holds per-iteration max-norm deltas."""
 
     def assemble_grid(self, geometry) -> np.ndarray:
         """Stitch functional-mode block interiors into the global interior."""
@@ -262,50 +251,13 @@ class StencilResult:
             out[window] = interior
         return out
 
-    # -- serialization ---------------------------------------------------------
-    def to_dict(self) -> dict:
-        """JSON-ready form for cache persistence.  Functional-mode results
-        carry NumPy block data and are deliberately not serializable (they
-        are also the one case where re-running is the point)."""
-        if self.blocks is not None:
-            raise ValueError("functional-mode results (with blocks) are not serializable")
-        return {
-            "config": self.config.to_dict(),
-            "total_time": self.total_time,
-            "warmup_boundary": self.warmup_boundary,
-            "time_per_iteration": self.time_per_iteration,
-            "gpu_busy_s": self.gpu_busy_s,
-            "gpu_utilization": self.gpu_utilization,
-            "pe_busy_s": self.pe_busy_s,
-            "messages_sent": self.messages_sent,
-            "bytes_sent": self.bytes_sent,
-            "protocol_counts": {p.value: c for p, c in self.protocol_counts.items()},
-            "overlap_s": self.overlap_s,
-            "max_halo_bytes": self.max_halo_bytes,
-        }
+    def assemble_state(self) -> np.ndarray:
+        """App-agnostic assembly hook (differential matrix): the stitched
+        global interior for this run's own geometry."""
+        from .geometry import BlockGeometry
 
-    @classmethod
-    def from_dict(cls, d: dict) -> "StencilResult":
-        """Inverse of :meth:`to_dict`.  Floats round-trip exactly through
-        JSON (``repr`` round-trip), so a cached result is bit-identical to
-        the run that produced it.  The embedded config dict is dispatched to
-        the right app's config class via the registry."""
-        from ...comm.protocols import Protocol
-        from ..registry import config_from_dict
-
-        return cls(
-            config=config_from_dict(d["config"]),
-            total_time=d["total_time"],
-            warmup_boundary=d["warmup_boundary"],
-            time_per_iteration=d["time_per_iteration"],
-            gpu_busy_s=d["gpu_busy_s"],
-            gpu_utilization=d["gpu_utilization"],
-            pe_busy_s=d["pe_busy_s"],
-            messages_sent=d["messages_sent"],
-            bytes_sent=d["bytes_sent"],
-            protocol_counts={Protocol(k): v for k, v in d["protocol_counts"].items()},
-            overlap_s=d["overlap_s"],
-            max_halo_bytes=d["max_halo_bytes"],
+        return self.assemble_grid(
+            BlockGeometry.auto(self.config.n_blocks(), self.config.grid)
         )
 
     def summary(self) -> str:

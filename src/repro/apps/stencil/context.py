@@ -258,5 +258,10 @@ class StencilContext:
     def shape(self) -> tuple:
         return self.geometry.shape
 
+    def max_payload_bytes(self) -> int:
+        """Largest single message payload (driver hook, app-agnostic): for
+        stencils, the biggest halo face."""
+        return self.geometry.max_face_bytes()
+
     def block_data(self, index) -> BlockData:
         return BlockData(self, index)

@@ -8,8 +8,10 @@ Commands
 ``apps``
     List the registered applications (docs/apps.md).
 ``figure``
-    Regenerate one of the paper's figures (``6a 6b 7a 7b 7c 8 9``); prints
-    the table/chart and the shape-claim verdicts; optional JSON output.
+    Regenerate one of the paper's figures (``6a 6b 7a 7b 7c 8 9``) or the
+    repo's collectives ablation (``ar``: allreduce ring vs tree vs
+    pipeline chunking); prints the table/chart and the shape-claim
+    verdicts; optional JSON output.
 ``sweep``
     Overdecomposition-factor sweep at a fixed node count.
 
@@ -45,6 +47,7 @@ results are bit-identical to serial uncached runs either way.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import Optional, Sequence
 
@@ -54,6 +57,8 @@ from .exec import ParallelRunner, ResultCache, default_cache_dir
 from .core import (
     FULL_NODES,
     QUICK_NODES,
+    allreduce_ablation,
+    check_allreduce_ablation,
     check_figure6,
     check_figure7a,
     check_figure7b,
@@ -81,6 +86,7 @@ _FIGURES = {
     "7c": (figure7c, check_figure7c, "fig7c"),
     "8": (figure8, check_figure8, "fig8"),
     "9": (figure9, check_figure9, "fig9"),
+    "ar": (allreduce_ablation, check_allreduce_ablation, "ar"),
 }
 
 
@@ -92,20 +98,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_p = sub.add_parser("run", help="run one configuration of a registered app")
-    run_p.add_argument("--app", default="jacobi3d", choices=app_names(),
-                       help="registered application (default jacobi3d)")
-    run_p.add_argument("--version", default="charm-d", choices=list(ALL_VERSIONS))
-    run_p.add_argument("--nodes", type=int, default=1)
-    run_p.add_argument("--grid", type=int, nargs="+", default=None, metavar="N",
-                       help="global grid extents, one per app dimension "
-                            "(default: the app's default grid)")
-    run_p.add_argument("--odf", type=int, default=1)
-    run_p.add_argument("--iterations", type=int, default=10)
-    run_p.add_argument("--warmup", type=int, default=1)
-    run_p.add_argument("--fusion", choices=["A", "B", "C"], default=None)
-    run_p.add_argument("--graphs", action="store_true", help="use CUDA Graphs")
-    run_p.add_argument("--legacy", action="store_true",
-                       help="pre-optimization baseline (Fig. 6)")
+    _add_app_flags(run_p)
     run_p.add_argument("--functional", action="store_true",
                        help="real NumPy data (small grids only)")
     run_p.add_argument("--validate", action="store_true",
@@ -165,20 +158,7 @@ def _build_parser() -> argparse.ArgumentParser:
     perf_sub = perf_p.add_subparsers(dest="perf_command", required=True)
 
     prun = perf_sub.add_parser("run", help="one config under the observability stack")
-    prun.add_argument("--app", default="jacobi3d", choices=app_names(),
-                      help="registered application (default jacobi3d)")
-    prun.add_argument("--version", default="charm-d", choices=list(ALL_VERSIONS))
-    prun.add_argument("--nodes", type=int, default=1)
-    prun.add_argument("--grid", type=int, nargs="+", default=None, metavar="N",
-                      help="global grid extents, one per app dimension "
-                           "(default: the app's default grid)")
-    prun.add_argument("--odf", type=int, default=1)
-    prun.add_argument("--iterations", type=int, default=10)
-    prun.add_argument("--warmup", type=int, default=1)
-    prun.add_argument("--fusion", choices=["A", "B", "C"], default=None)
-    prun.add_argument("--graphs", action="store_true", help="use CUDA Graphs")
-    prun.add_argument("--legacy", action="store_true",
-                      help="pre-optimization baseline (Fig. 6)")
+    _add_app_flags(prun)
     prun.add_argument("--validate", action="store_true",
                       help="run under the simulation invariant checker")
     prun.add_argument("--json", metavar="PATH", default=None,
@@ -202,20 +182,7 @@ def _build_parser() -> argparse.ArgumentParser:
     pprof = perf_sub.add_parser(
         "profile",
         help="cProfile one config: where the simulator itself spends wall-clock")
-    pprof.add_argument("--app", default="jacobi3d", choices=app_names(),
-                       help="registered application (default jacobi3d)")
-    pprof.add_argument("--version", default="charm-d", choices=list(ALL_VERSIONS))
-    pprof.add_argument("--nodes", type=int, default=1)
-    pprof.add_argument("--grid", type=int, nargs="+", default=None, metavar="N",
-                       help="global grid extents, one per app dimension "
-                            "(default: the app's default grid)")
-    pprof.add_argument("--odf", type=int, default=1)
-    pprof.add_argument("--iterations", type=int, default=10)
-    pprof.add_argument("--warmup", type=int, default=1)
-    pprof.add_argument("--fusion", choices=["A", "B", "C"], default=None)
-    pprof.add_argument("--graphs", action="store_true", help="use CUDA Graphs")
-    pprof.add_argument("--legacy", action="store_true",
-                       help="pre-optimization baseline (Fig. 6)")
+    _add_app_flags(pprof)
     pprof.add_argument("--top", type=int, default=25, metavar="N",
                        help="rows in the cumulative-time report (default 25)")
     pprof.add_argument("--sort", choices=["cumulative", "tottime", "calls"],
@@ -231,6 +198,46 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError("must be >= 1")
     return value
+
+
+def _add_app_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared app-selection flags for run / perf run / perf profile.
+
+    Per-app flags default to ``None`` (or ``False`` for switches), meaning
+    "use the app's own default"; :func:`_app_config` rejects any flag the
+    user *did* set that the selected app's config has no field for.
+    """
+    parser.add_argument("--app", default="jacobi3d", choices=app_names(),
+                        help="registered application (default jacobi3d)")
+    parser.add_argument("--version", default="charm-d", choices=list(ALL_VERSIONS))
+    parser.add_argument("--nodes", type=int, default=1)
+    parser.add_argument("--odf", type=int, default=1)
+    parser.add_argument("--iterations", type=int, default=None,
+                        help="measured iterations (default: the app's own)")
+    parser.add_argument("--warmup", type=int, default=None,
+                        help="warmup iterations (default: the app's own)")
+    # Stencil apps (jacobi2d/jacobi3d).
+    parser.add_argument("--grid", type=int, nargs="+", default=None, metavar="N",
+                        help="global grid extents, one per app dimension "
+                             "(default: the app's default grid)")
+    parser.add_argument("--fusion", choices=["A", "B", "C"], default=None)
+    parser.add_argument("--graphs", action="store_true", help="use CUDA Graphs")
+    parser.add_argument("--legacy", action="store_true",
+                        help="pre-optimization baseline (Fig. 6)")
+    # Task-DAG app (cholesky).
+    parser.add_argument("--tiles", type=int, default=None, metavar="T",
+                        help="cholesky: tiles per matrix dimension")
+    parser.add_argument("--tile", type=int, default=None, metavar="B",
+                        help="cholesky: elements per tile dimension")
+    # Collectives app (allreduce).
+    parser.add_argument("--elements", type=int, default=None, metavar="E",
+                        help="allreduce: float64 elements per vector")
+    parser.add_argument("--algorithm", choices=["ring", "tree"], default=None,
+                        help="allreduce: collective algorithm")
+    parser.add_argument("--chunks", type=int, default=None, metavar="C",
+                        help="allreduce: pipeline chunks per transfer")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="functional-mode input seed (cholesky/allreduce)")
 
 
 def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
@@ -256,20 +263,43 @@ def _make_runner(args) -> ParallelRunner:
 
 
 def _app_config(args, **extra):
-    """Build the selected app's config from shared run/perf-run flags."""
+    """Build the selected app's config from shared run/perf-run flags.
+
+    Flags left at their unset default (``None``, or ``False`` for
+    switches) fall through to the config class's own defaults; a flag the
+    user did set but that the app's config has no field for is an error,
+    not a silent drop.
+    """
     spec = get_app(args.app)
-    kwargs = dict(
-        version=args.version, nodes=args.nodes, odf=args.odf,
-        iterations=args.iterations, warmup=args.warmup, fusion=args.fusion,
-        cuda_graphs=args.graphs, legacy_sync=args.legacy, **extra,
-    )
-    if args.grid is not None:
+    fields = {f.name for f in dataclasses.fields(spec.config_cls)}
+    kwargs = dict(version=args.version, nodes=args.nodes, odf=args.odf, **extra)
+    per_app = [
+        ("--iterations", "iterations", args.iterations),
+        ("--warmup", "warmup", args.warmup),
+        ("--grid", "grid", None if args.grid is None else tuple(args.grid)),
+        ("--fusion", "fusion", args.fusion),
+        ("--graphs", "cuda_graphs", args.graphs or None),
+        ("--legacy", "legacy_sync", args.legacy or None),
+        ("--tiles", "tiles", args.tiles),
+        ("--tile", "tile", args.tile),
+        ("--elements", "elements", args.elements),
+        ("--algorithm", "algorithm", args.algorithm),
+        ("--chunks", "chunks", args.chunks),
+        ("--seed", "seed", args.seed),
+    ]
+    for flag, field, value in per_app:
+        if value is None:
+            continue
+        if field not in fields:
+            raise SystemExit(
+                f"repro: {flag} is not meaningful for app {args.app!r}")
+        kwargs[field] = value
+    if "grid" in kwargs:
         ndim = spec.config_cls.NDIM
-        if len(args.grid) != ndim:
+        if len(kwargs["grid"]) != ndim:
             raise SystemExit(
                 f"repro: --grid needs {ndim} value(s) for app "
-                f"{args.app!r}, got {len(args.grid)}")
-        kwargs["grid"] = tuple(args.grid)
+                f"{args.app!r}, got {len(kwargs['grid'])}")
     return spec.config_cls(**kwargs)
 
 
@@ -293,8 +323,14 @@ def _cmd_apps(_args) -> int:
     for name in app_names():
         spec = get_app(name)
         config = spec.config_cls()
-        print(f"{name:12s} ndim={config.ndim}  "
-              f"default grid={config.grid}  {spec.description}")
+        if hasattr(config, "grid"):
+            shape = f"ndim={config.ndim}  default grid={config.grid}"
+        elif hasattr(config, "tiles"):
+            shape = f"default tiles={config.tiles}x{config.tiles} tile={config.tile}"
+        else:
+            shape = (f"default elements={config.elements} "
+                     f"algorithm={config.algorithm}")
+        print(f"{name:12s} {shape}  {spec.description}")
     return 0
 
 
@@ -318,7 +354,11 @@ def _cmd_figure(args) -> int:
 
 def _cmd_sweep(args) -> int:
     runner = _make_runner(args)
-    ndim = get_app(args.app).config_cls.NDIM
+    ndim = getattr(get_app(args.app).config_cls, "NDIM", None)
+    if ndim is None:
+        raise SystemExit(
+            f"repro sweep: app {args.app!r} has no grid to weak-scale; "
+            "the ODF sweep is defined for the stencil apps")
     fig = odf_sweep(base=(args.base,) * ndim, nodes=args.nodes, odfs=args.odfs,
                     runner=runner, app=args.app)
     print(f"[exec] {runner.stats.describe()}", file=sys.stderr)

@@ -7,6 +7,7 @@
 
 from .expectations import (
     Claim,
+    check_allreduce_ablation,
     check_figure6,
     check_figure7a,
     check_figure7b,
@@ -19,6 +20,7 @@ from .expectations import (
 from .figures import (
     FULL_NODES,
     QUICK_NODES,
+    allreduce_ablation,
     figure6,
     figure7a,
     figure7b,
@@ -34,6 +36,7 @@ from .microbench import DEFAULT_SIZES, comm_api_comparison
 
 __all__ = [
     "Claim",
+    "check_allreduce_ablation",
     "check_figure6",
     "check_figure7a",
     "check_figure7b",
@@ -44,6 +47,7 @@ __all__ = [
     "render_claims",
     "FULL_NODES",
     "QUICK_NODES",
+    "allreduce_ablation",
     "figure6",
     "figure7a",
     "figure7b",

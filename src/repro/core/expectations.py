@@ -15,6 +15,7 @@ from ..analysis import FigureData, Series, crossover_x
 
 __all__ = [
     "Claim",
+    "check_allreduce_ablation",
     "check_figure6",
     "check_figure7a",
     "check_figure7b",
@@ -280,6 +281,45 @@ def check_figure9(fig: FigureData) -> list[Claim]:
             all(y > 0.97 for s in fig.series.values() for y in s.ys()),
         )
     )
+    return claims
+
+
+def check_allreduce_ablation(fig: FigureData) -> list[Claim]:
+    """Shape claims for the collectives ablation (``repro figure ar``):
+    textbook collective-algorithm tradeoffs, reproduced by the model."""
+    last = _last_x(fig)
+
+    def y(label):
+        return fig.series[label].y_at(last)
+
+    claims = [
+        Claim(
+            "small vectors: binomial tree beats ring (2 log2 U rounds vs 2(U-1))",
+            y("8KB tree x1") <= y("8KB ring x1"),
+            f"tree={y('8KB tree x1') * 1e6:.0f}us ring={y('8KB ring x1') * 1e6:.0f}us "
+            f"at {last:g} nodes",
+        ),
+        Claim(
+            "large vectors: bandwidth-optimal ring beats tree",
+            y("8MB ring x1") <= y("8MB tree x1"),
+            f"ring={y('8MB ring x1') * 1e6:.0f}us tree={y('8MB tree x1') * 1e6:.0f}us "
+            f"at {last:g} nodes",
+        ),
+        Claim(
+            "chunking pipelines the tree's full-vector transfers everywhere",
+            all(
+                fig.series["8MB tree x4"].y_at(x) <= fig.series["8MB tree x1"].y_at(x) * 1.02
+                for x in fig.series["8MB tree x4"].xs()
+            ),
+        ),
+        Claim(
+            "chunking latency-bound vectors only adds per-message overhead",
+            y("8KB ring x4") >= y("8KB ring x1") * 0.98
+            and y("8KB tree x4") >= y("8KB tree x1") * 0.98,
+            f"ring x4/x1={y('8KB ring x4') / y('8KB ring x1'):.2f} "
+            f"tree x4/x1={y('8KB tree x4') / y('8KB tree x1'):.2f}",
+        ),
+    ]
     return claims
 
 

@@ -31,6 +31,7 @@ __all__ = [
     "weak_grid",
     "strong_grid",
     "iterations_for",
+    "allreduce_ablation",
     "figure6",
     "figure7a",
     "figure7b",
@@ -49,6 +50,7 @@ QUICK_NODES = {
     "fig7c": (8, 16, 32),
     "fig8": (1, 2, 4, 8, 16),
     "fig9": (1, 4, 16),
+    "ar": (1, 2, 4, 8),
 }
 
 #: Paper-scale ladders (tens of minutes of wall clock; EXPERIMENTS.md).
@@ -64,6 +66,7 @@ FULL_NODES = {
     "fig7c": (8, 16, 32, 64, 128, 256, 512),
     "fig8": (1, 2, 4, 8, 16, 32, 64),
     "fig9": (1, 4, 16, 64),
+    "ar": (1, 2, 4, 8, 16, 32),
 }
 
 ProgressFn = Callable[[str], None]
@@ -105,8 +108,10 @@ def iterations_for(nodes: int) -> tuple[int, int]:
 
 def _config(version, nodes, grid, machine, odf=1, app="jacobi3d", **kw) -> StencilConfig:
     iters, warm = iterations_for(nodes)
+    if grid is not None:  # non-stencil apps size themselves via **kw
+        kw["grid"] = grid
     return get_app(app).config_cls(
-        version=version, nodes=nodes, grid=grid, odf=odf,
+        version=version, nodes=nodes, odf=odf,
         iterations=kw.pop("iterations", iters), warmup=kw.pop("warmup", warm),
         machine=machine or MachineSpec.summit(), **kw,
     )
@@ -325,6 +330,46 @@ def figure9(
                 graph = results[index[odf, strat, n, True]]
                 series.add(n, base.time_per_iteration / graph.time_per_iteration)
     return fig
+
+
+# ---------------------------------------------------------------------------
+# Collectives ablation: allreduce ring vs tree vs pipeline chunking
+# ---------------------------------------------------------------------------
+
+#: (series prefix, float64 elements per vector): one latency-bound vector
+#: well under a rendezvous threshold, one firmly bandwidth-bound.
+AR_SIZES = (("8KB", 1024), ("8MB", 1 << 20))
+
+
+def allreduce_ablation(
+    nodes=None,
+    machine=None,
+    progress=None,
+    sizes: Sequence[tuple] = AR_SIZES,
+    chunk_counts: Sequence[int] = (1, 4),
+    runner=None,
+) -> FigureData:
+    """Collectives ablation on the allreduce app (GPU-aware Charm++): ring
+    vs binomial tree across vector sizes, with and without pipeline
+    chunking.  The expected shape: the tree's ``2 log2 U`` rounds win while
+    per-message latency dominates (small vectors), the ring's
+    bandwidth-optimal ``2 (U-1)/U`` traffic wins once transfers dominate
+    (large vectors), and chunking pays only where there is a transfer long
+    enough to pipeline under the fold kernels."""
+    nodes = tuple(nodes or QUICK_NODES["ar"])
+    plan = ExperimentPlan("ar", "Allreduce: ring vs tree vs chunking (Charm-D)",
+                          "nodes", "time/iter (s)")
+    for size_label, elements in sizes:
+        for algorithm in ("ring", "tree"):
+            for chunks in chunk_counts:
+                label = f"{size_label} {algorithm} x{chunks}"
+                for n in nodes:
+                    plan.add(
+                        _config("charm-d", n, None, machine, app="allreduce",
+                                elements=elements, algorithm=algorithm,
+                                chunks=chunks, iterations=3, warmup=1),
+                        label, n, meta_fields=_UTIL)
+    return plan.figure(_execute(plan, runner, progress))
 
 
 # ---------------------------------------------------------------------------

@@ -23,6 +23,7 @@ from .messages import EntryMessage, Resume
 from .reductions import REDUCERS, ReductionManager
 from .runtime import CharmRuntime
 from .scheduler import Scheduler
+from .taskspace import TaskRecord, TaskSpace
 
 install_gm_post(Chare)
 
@@ -61,4 +62,6 @@ __all__ = [
     "ReductionManager",
     "CharmRuntime",
     "Scheduler",
+    "TaskRecord",
+    "TaskSpace",
 ]

@@ -112,10 +112,12 @@ def default_base(app: str = "jacobi3d") -> StencilConfig:
 
 def default_matrix(base: StencilConfig,
                    quick: bool = False) -> list[tuple[str, StencilConfig]]:
-    """The comparison cases for ``base``.  The first entry is the
-    reference (charm-d, the paper's best version).  ``quick`` keeps only
-    the cross-runtime cases; the full matrix adds fusion A/B/C and CUDA
-    graphs on/off."""
+    """The stencil-shaped comparison cases for ``base``.  The first entry
+    is the reference (charm-d, the paper's best version).  ``quick`` keeps
+    only the cross-runtime cases; the full matrix adds fusion A/B/C and
+    CUDA graphs on/off.  Apps without those axes register their own
+    ``differential_cases`` on their :class:`~repro.apps.registry.AppSpec`
+    instead of using this default."""
     base = base.with_(version="charm-d", fusion="none", cuda_graphs=False)
     cases = [
         ("charm-d", base),
@@ -156,7 +158,11 @@ def run_differential_matrix(
     if not base.functional:
         raise ValueError("the differential matrix needs data_mode='functional'")
     if cases is None:
-        cases = default_matrix(base, quick=quick)
+        make_cases = get_app(base.app).differential_cases
+        if make_cases is not None:
+            cases = make_cases(base, quick)
+        else:
+            cases = default_matrix(base, quick=quick)
 
     report = DifferentialReport(reference=cases[0][0])
     reference = None
@@ -165,7 +171,7 @@ def run_differential_matrix(
         if progress is not None:
             progress(label, None)
         result = run_app(config, validate=validate)
-        grid = result.assemble_grid(_geometry_of(config))
+        grid = result.assemble_state()
         if reference is None:
             reference = result
             ref_grid = grid
@@ -176,12 +182,6 @@ def run_differential_matrix(
         if progress is not None:
             progress(label, diff)
     return report
-
-
-def _geometry_of(config: StencilConfig):
-    from ..apps.decomposition import BlockGeometry
-
-    return BlockGeometry.auto(config.n_blocks(), config.grid)
 
 
 def _compare(label, config, reference, ref_grid, result, grid) -> CaseDiff:

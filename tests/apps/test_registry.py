@@ -60,13 +60,23 @@ def _configs(config_cls):
 # ---------------------------------------------------------------------------
 
 
-def test_both_bundled_apps_registered():
-    assert app_names() == ["jacobi2d", "jacobi3d"]
+def test_all_bundled_apps_registered():
+    assert app_names() == ["allreduce", "cholesky", "jacobi2d", "jacobi3d"]
 
 
 def test_get_app_unknown_name():
     with pytest.raises(ValueError, match="unknown app 'nope'"):
         get_app("nope")
+
+
+def test_config_from_dict_unknown_app_names_the_culprit():
+    with pytest.raises(KeyError, match="unknown app 'nope'") as exc:
+        config_from_dict({"app": "nope", "nodes": 1})
+    # The error enumerates what IS registered, so a typo'd cache entry or
+    # hand-edited config is self-diagnosing.
+    assert "allreduce" in str(exc.value)
+    assert "cholesky" in str(exc.value)
+    assert "jacobi3d" in str(exc.value)
 
 
 def test_spec_matches_config_class():

@@ -91,11 +91,13 @@ def test_validate_update_golden_roundtrip(tmp_path, capsys):
                "--golden-dir", str(tmp_path)])
     out = capsys.readouterr().out
     assert rc == 0
-    assert "refreshed 10 entries" in out
-    assert len(list(tmp_path.glob("*.json"))) == 10
-    # Both registered apps contribute entries.
+    assert "refreshed 14 entries" in out
+    assert len(list(tmp_path.glob("*.json"))) == 14
+    # Every registered app contributes entries.
     assert (tmp_path / "charm-d.json").exists()
     assert (tmp_path / "jacobi2d-charm-d.json").exists()
+    assert (tmp_path / "cholesky-charm-d.json").exists()
+    assert (tmp_path / "allreduce-charm-d-ring.json").exists()
 
 
 def test_validate_scoped_to_one_app(tmp_path, capsys):
@@ -116,6 +118,9 @@ def test_apps_lists_registered_workloads(capsys):
     assert rc == 0
     assert "jacobi3d" in out and "jacobi2d" in out
     assert "ndim=3" in out and "ndim=2" in out
+    # Non-stencil apps describe their own geometry instead of a grid.
+    assert "cholesky" in out and "tiles=8x8" in out
+    assert "allreduce" in out and "algorithm=ring" in out
 
 
 def test_run_second_app(capsys):
@@ -129,6 +134,40 @@ def test_run_second_app(capsys):
 def test_run_grid_arity_checked_against_app():
     with pytest.raises(SystemExit, match="--grid needs 2 value"):
         main(["run", "--app", "jacobi2d", "--grid", "96", "96", "96"])
+
+
+def test_run_cholesky_app(capsys):
+    rc = main(["run", "--app", "cholesky", "--version", "charm-d",
+               "--tiles", "4", "--tile", "32", "--odf", "2"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "cholesky" in out and "time/iteration" in out
+
+
+def test_run_allreduce_app(capsys):
+    rc = main(["run", "--app", "allreduce", "--version", "mpi-d",
+               "--nodes", "2", "--elements", "4096", "--algorithm", "tree",
+               "--chunks", "2", "--iterations", "3"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "allreduce" in out and "time/iteration" in out
+
+
+def test_inapplicable_flags_rejected_per_app():
+    with pytest.raises(SystemExit, match="--grid is not meaningful"):
+        main(["run", "--app", "allreduce", "--grid", "96"])
+    with pytest.raises(SystemExit, match="--tiles is not meaningful"):
+        main(["run", "--app", "jacobi3d", "--tiles", "4"])
+    with pytest.raises(SystemExit, match="--iterations is not meaningful"):
+        # a cholesky run's iteration count IS its tile count
+        main(["run", "--app", "cholesky", "--iterations", "5"])
+    with pytest.raises(SystemExit, match="--fusion is not meaningful"):
+        main(["run", "--app", "cholesky", "--fusion", "C"])
+
+
+def test_sweep_requires_a_stencil_app():
+    with pytest.raises(SystemExit, match="no grid to weak-scale"):
+        main(["sweep", "--app", "cholesky"])
 
 
 def test_lint_strict_clean_on_shipped_tree(capsys):
