@@ -69,8 +69,10 @@ class AmpiProcess:
     def work(self, seconds: float) -> Work:
         return Work(seconds)
 
-    def launch(self, stream, work, name: str = "", wait=()) -> Launch:
-        return Launch(stream, work, name=name, wait_events=tuple(wait))
+    def launch(self, stream, work, name: str = "", wait=(), reads=(),
+               writes=()) -> Launch:
+        return Launch(stream, work, name=name, wait_events=tuple(wait),
+                      reads=tuple(reads), writes=tuple(writes))
 
     def launch_graph(self, graph_exec, priority: int = 0, after=()) -> LaunchGraph:
         return LaunchGraph(graph_exec, priority=priority, after=tuple(after))
@@ -119,6 +121,7 @@ def _make_rank_chare(world: "AmpiWorld"):
             proc = self.proc
             costs = world.costs
             ucx = self.runtime.ucx
+            engine = self.runtime.engine
             coroutine = proc.main()
             value = None
             while True:
@@ -141,6 +144,8 @@ def _make_rank_chare(world: "AmpiWorld"):
                         priority=PRIORITY_COMM,
                         payload=cmd.payload,
                     )
+                    if engine.sanitizer is not None:
+                        engine.sanitizer.on_transfer_posted(handle, self)
                     value = Request(handle, "send")
                 elif isinstance(cmd, _Irecv):
                     yield self.work(costs.call_overhead_s)
@@ -151,6 +156,8 @@ def _make_rank_chare(world: "AmpiWorld"):
                         tag=("ampi", cmd.source, proc.rank, cmd.tag),
                         on_device=cmd.device,
                     )
+                    if engine.sanitizer is not None:
+                        engine.sanitizer.on_transfer_posted(handle, self)
                     value = Request(handle, "recv")
                 elif isinstance(cmd, _WaitAll):
                     yield self.work(costs.completion_s * max(1, len(cmd.requests)))
@@ -159,10 +166,15 @@ def _make_rank_chare(world: "AmpiWorld"):
                         # The AMPI difference: suspend, don't spin — the PE
                         # is free for other virtual ranks meanwhile.
                         yield self.wait_all(pending)
+                    if engine.sanitizer is not None:
+                        for r in cmd.requests:
+                            engine.sanitizer.on_wake(self, r.done)
                     value = [r.data for r in cmd.requests]
                 elif isinstance(cmd, Await):
                     if not cmd.event.processed:
                         yield self.wait(cmd.event)
+                    elif engine.sanitizer is not None:
+                        engine.sanitizer.on_wake(self, cmd.event)
                     value = cmd.event.value
                 else:
                     raise SimulationError(

@@ -30,6 +30,15 @@ def make_allreduce_block_class(ctx: AllreduceContext):
         def init(self):
             self.u = self.index[0]
             self.data = ctx.unit_data(self.u)
+            # Every (segment, chunk) slot of this unit's vector that the
+            # round schedule touches — the init kernel (re)writes them all.
+            self.vec_keys = sorted({
+                ("vec", self.u, seg, c)
+                for step in ctx.round_steps
+                for lst in (step.sends.get(self.u, ()),
+                            step.recvs.get(self.u, ()))
+                for _peer, seg, c, _lo, _hi in lst
+            })
             self.iter_trigger = None
             self.gpu.malloc(ctx.unit_device_bytes(self.u))
             self.red_stream = self.gpu.create_stream(
@@ -69,7 +78,7 @@ def make_allreduce_block_class(ctx: AllreduceContext):
             for t in range(ctx.config.total_iterations):
                 self.data.f_begin_iter(t)
                 init = yield self.launch(self.red_stream, ctx.init_work(),
-                                         name="init")
+                                         name="init", writes=self.vec_keys)
                 seg_ready = {}  # (seg, chunk) -> last kernel writing it
                 iter_events = [init.done]
                 for ridx, step in enumerate(ctx.round_steps):
@@ -80,6 +89,7 @@ def make_allreduce_block_class(ctx: AllreduceContext):
                             CopyWork(8 * (hi - lo), COPY_D2H),
                             name=f"d2h.{ridx}.{c}",
                             wait=[dep],
+                            reads=[("vec", self.u, seg, c)],
                         )
                         yield self.wait(cop.done)
                         self.send((dest,), "recvChunk", ref=(t, ridx, c),
@@ -96,6 +106,8 @@ def make_allreduce_block_class(ctx: AllreduceContext):
                         op = yield self.launch(
                             self.red_stream, ctx.chunk_work(step.kind, lo, hi),
                             name=ctx.kernel_name(step, c), wait=waits,
+                            reads=[("vec", self.u, seg, c)],
+                            writes=[("vec", self.u, seg, c)],
                         )
                         self.data.f_apply(step.kind, lo, hi, m.payload)
                         seg_ready[(seg, c)] = op.done
@@ -111,7 +123,7 @@ def make_allreduce_block_class(ctx: AllreduceContext):
             for t in range(ctx.config.total_iterations):
                 self.data.f_begin_iter(t)
                 init = yield self.launch(self.red_stream, ctx.init_work(),
-                                         name="init")
+                                         name="init", writes=self.vec_keys)
                 seg_ready = {}
                 iter_events = [init.done]
                 pending_sends = []
@@ -137,6 +149,8 @@ def make_allreduce_block_class(ctx: AllreduceContext):
                         op = yield self.launch(
                             self.red_stream, ctx.chunk_work(step.kind, lo, hi),
                             name=ctx.kernel_name(step, c), wait=waits,
+                            reads=[("vec", self.u, seg, c)],
+                            writes=[("vec", self.u, seg, c)],
                         )
                         self.data.f_apply(step.kind, lo, hi, payload)
                         seg_ready[(seg, c)] = op.done

@@ -30,6 +30,15 @@ def make_allreduce_rank_program(ctx: AllreduceContext):
             self.u = self.rank
             self.index = (self.rank,)
             self.data = ctx.unit_data(self.u)
+            # Every (segment, chunk) slot of this unit's vector that the
+            # round schedule touches — the init kernel (re)writes them all.
+            self.vec_keys = sorted({
+                ("vec", self.u, seg, c)
+                for step in ctx.round_steps
+                for lst in (step.sends.get(self.u, ()),
+                            step.recvs.get(self.u, ()))
+                for _peer, seg, c, _lo, _hi in lst
+            })
 
         def _setup_device(self):
             self.gpu.malloc(ctx.unit_device_bytes(self.u))
@@ -49,7 +58,7 @@ def make_allreduce_rank_program(ctx: AllreduceContext):
             for t in range(ctx.config.total_iterations):
                 self.data.f_begin_iter(t)
                 init = yield self.launch(self.red_stream, ctx.init_work(),
-                                         name="init")
+                                         name="init", writes=self.vec_keys)
                 seg_ready = {}  # (seg, chunk) -> last kernel writing it
                 iter_events = [init.done]
                 send_reqs = []
@@ -71,6 +80,7 @@ def make_allreduce_rank_program(ctx: AllreduceContext):
                                 CopyWork(8 * (hi - lo), COPY_D2H),
                                 name=f"d2h.{ridx}.{c}",
                                 wait=[dep],
+                                reads=[("vec", self.u, seg, c)],
                             )
                             yield self.sync(cop.done)
                         send_reqs.append((yield self.isend(
@@ -92,6 +102,8 @@ def make_allreduce_rank_program(ctx: AllreduceContext):
                             self.red_stream,
                             ctx.chunk_work(step.kind, lo, hi),
                             name=ctx.kernel_name(step, c), wait=waits,
+                            reads=[("vec", self.u, seg, c)],
+                            writes=[("vec", self.u, seg, c)],
                         )
                         self.data.f_apply(step.kind, lo, hi, req.data)
                         seg_ready[(seg, c)] = op.done

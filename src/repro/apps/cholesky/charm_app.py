@@ -22,7 +22,7 @@ from __future__ import annotations
 from ...comm.ucx import PRIORITY_COMM, PRIORITY_COMPUTE
 from ...hardware.gpu import COPY_D2H, COPY_H2D, CopyWork
 from ...runtime import Chare
-from .context import CholeskyContext
+from .context import CholeskyContext, tile_accesses
 
 __all__ = ["make_cholesky_block_class"]
 
@@ -101,11 +101,14 @@ def make_cholesky_block_class(ctx: CholeskyContext):
                                 self.h2d_stream,
                                 CopyWork(tile_bytes, COPY_H2D),
                                 name=f"h2d.{a}.{k}",
+                                writes=[("stage", self.u, k, a)],
                             )
                             arrived[a] = h.done
                         waits.append(arrived[a])
+                    rd, wr = tile_accesses(info)
                     op = yield self.launch(
-                        self._stream(info), info.work, name=info.name, wait=waits
+                        self._stream(info), info.work, name=info.name, wait=waits,
+                        reads=rd, writes=wr,
                     )
                     ctx.tasks.attach(info.key, op.done, engine)
                     self.data.f_run_task(info)
@@ -119,6 +122,7 @@ def make_cholesky_block_class(ctx: CholeskyContext):
                                 CopyWork(tile_bytes, COPY_D2H),
                                 name=f"d2h.{a}.{k}",
                                 wait=[op.done],
+                                reads=[("tile", a, k)],
                             )
                             yield self.wait(c.done)
                             payload = self.data.f_factor_payload(a, k)
@@ -156,8 +160,10 @@ def make_cholesky_block_class(ctx: CholeskyContext):
                         _note, payload = m.payload
                         self.data.f_store_factor(k, a, payload)
                         arrived[a] = True
+                    rd, wr = tile_accesses(info)
                     op = yield self.launch(
-                        self._stream(info), info.work, name=info.name, wait=waits
+                        self._stream(info), info.work, name=info.name, wait=waits,
+                        reads=rd, writes=wr,
                     )
                     ctx.tasks.attach(info.key, op.done, engine)
                     self.data.f_run_task(info)

@@ -43,6 +43,25 @@ def factor_producer(a: int, k: int) -> tuple:
     return ("potrf", k) if a == k else ("trsm", a, k)
 
 
+def tile_accesses(info: "TaskInfo") -> tuple:
+    """``(reads, writes)`` buffer keys for one task's kernel, derived from
+    the task *kind* (the mathematical ground truth — deliberately not from
+    ``info.reads``/``local_deps``, which fault injectors mutate).
+
+    Buffer ``("tile", i, j)`` is matrix tile ``(i, j)``; a consumed factor
+    tile is the same buffer whether it lives locally or arrived by message
+    — the sanitizer's happens-before tracking orders the accesses.
+    """
+    i, j, k = info.i, info.j, info.step
+    if info.kind == "potrf":
+        return (("tile", k, k),), (("tile", k, k),)
+    if info.kind == "trsm":
+        return (("tile", i, k), ("tile", k, k)), (("tile", i, k),)
+    if info.kind == "syrk":
+        return (("tile", j, j), ("tile", j, k)), (("tile", j, j),)
+    return (("tile", i, j), ("tile", i, k), ("tile", j, k)), (("tile", i, j),)
+
+
 @dataclass(frozen=True)
 class TaskInfo:
     """One task instance, fully resolved against the ownership map."""

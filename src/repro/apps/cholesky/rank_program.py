@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from ...comm.ucx import PRIORITY_COMM, PRIORITY_COMPUTE
 from ...hardware.gpu import COPY_D2H, COPY_H2D, CopyWork
-from .context import CholeskyContext
+from .context import CholeskyContext, tile_accesses
 
 __all__ = ["make_cholesky_rank_program"]
 
@@ -88,12 +88,15 @@ def make_cholesky_rank_program(ctx: CholeskyContext):
                                     self.h2d_stream,
                                     CopyWork(tile_bytes, COPY_H2D),
                                     name=f"h2d.{a}.{k}",
+                                    writes=[("stage", self.u, k, a)],
                                 )
                                 arrived[a] = h.done
                         if arrived[a] is not None:
                             waits.append(arrived[a])
+                    rd, wr = tile_accesses(info)
                     op = yield self.launch(
-                        self._stream(info), info.work, name=info.name, wait=waits
+                        self._stream(info), info.work, name=info.name, wait=waits,
+                        reads=rd, writes=wr,
                     )
                     ctx.tasks.attach(info.key, op.done, engine)
                     self.data.f_run_task(info)
@@ -111,6 +114,7 @@ def make_cholesky_rank_program(ctx: CholeskyContext):
                                     CopyWork(tile_bytes, COPY_D2H),
                                     name=f"d2h.{a}.{k}",
                                     wait=[op.done],
+                                    reads=[("tile", a, k)],
                                 )
                                 yield self.sync(c.done)
                             payload = self.data.f_factor_payload(a, k)

@@ -30,6 +30,8 @@ def run_app(
     validate: bool = False,
     observatory=None,
     context_out: Optional[list] = None,
+    sanitize=False,
+    context_hook=None,
 ):
     """Simulate one run of ``config``'s app; returns measurements (and, in
     functional mode, every block's final interior).
@@ -45,6 +47,13 @@ def run_app(
     if any simulation invariant is breached.  Monitors are pure observers:
     the event schedule (and therefore every result) is unchanged.
 
+    ``sanitize`` attaches a happens-before concurrency
+    :class:`~repro.sanitize.Sanitizer` (another pure observer — see
+    docs/sanitizer.md).  ``True`` creates one and raises
+    :class:`~repro.sanitize.SanitizerError` on findings; passing a
+    ``Sanitizer`` instance attaches it and leaves the findings for the
+    caller to inspect (what ``repro sanitize`` does).
+
     ``observatory`` (an :class:`~repro.obs.Observatory`) attaches a tracer
     *and* a metrics registry for perf reporting; pass either it or a bare
     ``tracer``, not both.
@@ -53,6 +62,11 @@ def run_app(
     construction, so post-run audits can read app-side ledgers — the DAG
     property suite inspects the Cholesky
     :class:`~repro.runtime.taskspace.TaskSpace` journal through this hook.
+
+    ``context_hook`` (callable): invoked with the context before any
+    frontend is built — the seam the sanitizer's fault injectors use to
+    deliberately corrupt a plan (e.g. drop a declared DAG edge) and prove
+    the detectors fire.
     """
     spec = spec_for(config)
     if observatory is not None and tracer is not None:
@@ -67,9 +81,17 @@ def run_app(
     if validate:
         checker = InvariantChecker().attach(engine)
         checker.watch_cluster(cluster)
+    sanitizer = None
+    if sanitize:
+        from ..sanitize import Sanitizer
+
+        sanitizer = sanitize if isinstance(sanitize, Sanitizer) else Sanitizer()
+        sanitizer.attach(engine)
     ctx = spec.make_context(config, initial_state=initial_state)
     if context_out is not None:
         context_out.append(ctx)
+    if context_hook is not None:
+        context_hook(ctx)
     metrics = ctx.metrics
 
     def observer(name, unit, **data):
@@ -85,6 +107,8 @@ def run_app(
         if checker is not None:
             checker.watch_ucx(runtime.ucx)
             checker.watch_runtime(runtime)
+        if sanitizer is not None:
+            sanitizer.watch_runtime(runtime)
         array = runtime.create_array(
             spec.make_block_class(ctx), shape=ctx.shape, mapping="block", name=spec.name
         )
@@ -99,6 +123,8 @@ def run_app(
         if checker is not None:
             checker.watch_ucx(world.runtime.ucx)
             checker.watch_runtime(world.runtime)
+        if sanitizer is not None:
+            sanitizer.watch_runtime(world.runtime)
         ranks = world.launch(spec.make_ampi_rank_class(ctx))
         world.run()
         ucx = world.runtime.ucx
@@ -118,6 +144,8 @@ def run_app(
     metrics.check_complete(config.total_iterations)
     if checker is not None:
         checker.finish()
+    if sanitizer is not None:
+        sanitizer.finish(raise_on_findings=sanitize is True)
     t_end = engine.now
     t_warm = metrics.warmup_boundary
     measured = t_end - t_warm

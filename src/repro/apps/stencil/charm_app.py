@@ -128,18 +128,21 @@ def make_block_class(ctx: StencilContext):
         def _run_host(self):
             cfg = ctx.config
             d = self.data
+            idx = self.index
             for it in range(cfg.total_iterations):
                 dep = [self.update_done] if self.update_done is not None else []
                 staged = []
                 for face in d.neighbors:
                     p = yield self.launch(
-                        self.comm_stream, d.packs[face], name=f"pack{face}", wait=dep
+                        self.comm_stream, d.packs[face], name=f"pack{face}", wait=dep,
+                        reads=[("int", idx)], writes=[("pack", idx, face)],
                     )
                     c = yield self.launch(
                         self.d2h_stream,
                         CopyWork(d.face_bytes[face], COPY_D2H),
                         name=f"d2h{face}",
                         wait=[p.done],
+                        reads=[("pack", idx, face)],
                     )
                     staged.append(c.done)
                 d.f_pack_all()
@@ -159,15 +162,20 @@ def make_block_class(ctx: StencilContext):
                         self.h2d_stream,
                         CopyWork(d.face_bytes[face], COPY_H2D),
                         name=f"h2d{face}",
+                        writes=[("gstage", idx, face)],
                     )
                     u = yield self.launch(
                         self.comm_stream, d.unpacks[face], name=f"unpack{face}",
                         wait=[h.done],
+                        reads=[("gstage", idx, face)],
+                        writes=[("ghost", idx, face)],
                     )
                     unpack_events.append(u.done)
                     d.f_unpack(face, halo)
                 upd = yield self.launch(
-                    self.update_stream, d.update, name="update", wait=unpack_events
+                    self.update_stream, d.update, name="update", wait=unpack_events,
+                    reads=[("ghost", idx, f) for f in d.neighbors] + [("int", idx)],
+                    writes=[("int", idx)],
                 )
                 self.update_done = upd.done
                 d.f_update()
@@ -182,6 +190,7 @@ def make_block_class(ctx: StencilContext):
         def _run_device(self):
             cfg = ctx.config
             d = self.data
+            idx = self.index
             fusion = cfg.fusion
             n_nbrs = len(d.neighbors)
             for it in range(cfg.total_iterations):
@@ -201,7 +210,9 @@ def make_block_class(ctx: StencilContext):
                     events = []
                     if fusion.packs_fused and d.fused_pack is not None:
                         op = yield self.launch(
-                            self.comm_stream, d.fused_pack, name="pack*", wait=dep
+                            self.comm_stream, d.fused_pack, name="pack*", wait=dep,
+                            reads=[("int", idx)],
+                            writes=[("pack", idx, f) for f in d.neighbors],
                         )
                         events.append(op.done)
                     else:
@@ -209,6 +220,8 @@ def make_block_class(ctx: StencilContext):
                             op = yield self.launch(
                                 self.comm_stream, d.packs[face], name=f"pack{face}",
                                 wait=dep,
+                                reads=[("int", idx)],
+                                writes=[("pack", idx, face)],
                             )
                             events.append(op.done)
                     if events:
@@ -231,7 +244,8 @@ def make_block_class(ctx: StencilContext):
                     d.f_unpack(face, halo)
                     if not cfg.cuda_graphs and not fusion.unpacks_fused:
                         op = yield self.launch(
-                            self.comm_stream, d.unpacks[face], name=f"unpack{face}"
+                            self.comm_stream, d.unpacks[face], name=f"unpack{face}",
+                            writes=[("ghost", idx, face)],
                         )
                         unpack_events.append(op.done)
                 # 4. update (+ fused / graph variants)
@@ -240,16 +254,23 @@ def make_block_class(ctx: StencilContext):
                         self.graph_execs[it % 2], priority=PRIORITY_COMPUTE
                     )
                 elif fusion.all_in_one:
-                    op = yield self.launch(self.update_stream, d.fused_all, name="fusedC")
+                    op = yield self.launch(
+                        self.update_stream, d.fused_all, name="fusedC",
+                        reads=[("int", idx)],
+                        writes=[("int", idx)] + [("pack", idx, f) for f in d.neighbors],
+                    )
                     self.update_done = op.done
                 else:
                     if fusion.unpacks_fused and n_nbrs and d.fused_unpack is not None:
                         op = yield self.launch(
-                            self.comm_stream, d.fused_unpack, name="unpack*"
+                            self.comm_stream, d.fused_unpack, name="unpack*",
+                            writes=[("ghost", idx, f) for f in d.neighbors],
                         )
                         unpack_events = [op.done]
                     upd = yield self.launch(
-                        self.update_stream, d.update, name="update", wait=unpack_events
+                        self.update_stream, d.update, name="update", wait=unpack_events,
+                        reads=[("ghost", idx, f) for f in d.neighbors] + [("int", idx)],
+                        writes=[("int", idx)],
                     )
                     self.update_done = upd.done
                 d.f_update()
@@ -263,7 +284,11 @@ def make_block_class(ctx: StencilContext):
             if not d.neighbors:
                 return
             if d.fused_pack is not None:
-                op = yield self.launch(self.comm_stream, d.fused_pack, name="pack0*")
+                op = yield self.launch(
+                    self.comm_stream, d.fused_pack, name="pack0*",
+                    reads=[("int", self.index)],
+                    writes=[("pack", self.index, f) for f in d.neighbors],
+                )
                 yield self.wait(op.done)
 
     return JacobiBlock

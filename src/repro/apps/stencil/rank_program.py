@@ -62,6 +62,7 @@ def make_rank_program(ctx: StencilContext):
         def _main_body(self):
             cfg = ctx.config
             d = self.data
+            idx = self.index
             device = cfg.gpu_aware
             engine = self.world.engine
             for it in range(cfg.total_iterations):
@@ -78,7 +79,8 @@ def make_rank_program(ctx: StencilContext):
                 ready = []
                 for face in d.neighbors:
                     p = yield self.launch(
-                        self.comm_stream, d.packs[face], name=f"pack{face}", wait=dep
+                        self.comm_stream, d.packs[face], name=f"pack{face}", wait=dep,
+                        reads=[("int", idx)], writes=[("pack", idx, face)],
                     )
                     if device:
                         ready.append(p.done)
@@ -88,6 +90,7 @@ def make_rank_program(ctx: StencilContext):
                             CopyWork(d.face_bytes[face], COPY_D2H),
                             name=f"d2h{face}",
                             wait=[p.done],
+                            reads=[("pack", idx, face)],
                         )
                         ready.append(c.done)
                 d.f_pack_all()
@@ -105,7 +108,8 @@ def make_rank_program(ctx: StencilContext):
                 if cfg.mpi_overlap:
                     # Manual overlap: interior update is independent of halos.
                     interior_op = yield self.launch(
-                        self.update_stream, d.interior, name="interior"
+                        self.update_stream, d.interior, name="interior",
+                        reads=[("int", idx)], writes=[("int", idx)],
                     )
                 # Block in MPI_Waitall until every halo moved.
                 yield self.waitall(list(recv_reqs.values()) + send_reqs)
@@ -118,11 +122,14 @@ def make_rank_program(ctx: StencilContext):
                             self.h2d_stream,
                             CopyWork(d.face_bytes[face], COPY_H2D),
                             name=f"h2d{face}",
+                            writes=[("gstage", idx, face)],
                         )
                         waits = [h.done]
                     op = yield self.launch(
                         self.comm_stream, d.unpacks[face], name=f"unpack{face}",
                         wait=waits,
+                        reads=[("gstage", idx, face)] if not device else (),
+                        writes=[("ghost", idx, face)],
                     )
                     unpack_events.append(op.done)
                     d.f_unpack(face, req.data)
@@ -130,10 +137,14 @@ def make_rank_program(ctx: StencilContext):
                     upd = yield self.launch(
                         self.update_stream, d.exterior, name="exterior",
                         wait=unpack_events + [interior_op.done],
+                        reads=[("ghost", idx, f) for f in d.neighbors] + [("int", idx)],
+                        writes=[("int", idx)],
                     )
                 else:
                     upd = yield self.launch(
-                        self.update_stream, d.update, name="update", wait=unpack_events
+                        self.update_stream, d.update, name="update", wait=unpack_events,
+                        reads=[("ghost", idx, f) for f in d.neighbors] + [("int", idx)],
+                        writes=[("int", idx)],
                     )
                 self.update_done = upd.done
                 d.f_update()

@@ -31,8 +31,16 @@ results are bit-identical to serial uncached runs either way.
     with ``--app``.
 ``lint``
     Static analysis (docs/linting.md): the SDAG protocol / message-flow /
-    determinism linter over the chare DSL.  ``--strict`` exits nonzero on
-    findings (the CI configuration is ``repro lint --strict src tests``).
+    determinism / stream-DAG linter over the chare DSL.  ``--strict``
+    exits nonzero on findings (the CI configuration is ``repro lint
+    --strict src tests``).
+``sanitize``
+    Dynamic concurrency analysis (docs/sanitizer.md): runs a canonical
+    configuration of every registered app under all frontends with the
+    happens-before :class:`~repro.sanitize.Sanitizer` attached and
+    reports races, missing declared dependencies and deadlock cycles.
+    ``--strict`` exits nonzero on findings (the CI configuration is
+    ``repro sanitize --strict``).
 ``perf``
     Observability (docs/observability.md): ``perf run`` simulates one
     configuration under the full observability stack and reports
@@ -103,6 +111,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="real NumPy data (small grids only)")
     run_p.add_argument("--validate", action="store_true",
                        help="run under the simulation invariant checker")
+    run_p.add_argument("--sanitize", action="store_true",
+                       help="run under the happens-before sanitizer "
+                            "(docs/sanitizer.md); raises on findings")
 
     sub.add_parser("apps", help="list registered applications")
 
@@ -138,6 +149,19 @@ def _build_parser() -> argparse.ArgumentParser:
     val_p.add_argument("--golden-dir", metavar="DIR", default=None,
                        help="golden store location (default tests/golden)")
     val_p.add_argument("--quiet", action="store_true", help="no per-case progress")
+    val_p.add_argument("--sanitize", action="store_true",
+                       help="additionally run the sanitizer matrix "
+                            "(docs/sanitizer.md) and fold it into the verdict")
+
+    san_p = sub.add_parser(
+        "sanitize",
+        help="happens-before concurrency sanitizer (docs/sanitizer.md)")
+    san_p.add_argument("--app", default=None, choices=app_names(),
+                       help="scope to one registered app (default: all)")
+    san_p.add_argument("--strict", action="store_true",
+                       help="exit nonzero if any case has findings")
+    san_p.add_argument("--quiet", action="store_true",
+                       help="no per-case progress")
 
     lint_p = sub.add_parser(
         "lint", help="SDAG protocol & determinism linter (docs/linting.md)")
@@ -306,7 +330,7 @@ def _app_config(args, **extra):
 def _cmd_run(args) -> int:
     config = _app_config(
         args, data_mode="functional" if args.functional else "modeled")
-    result = run_app(config, validate=args.validate)
+    result = run_app(config, validate=args.validate, sanitize=args.sanitize)
     print(result.summary())
     print(f"  time/iteration : {result.time_per_iteration * 1e6:12.2f} us")
     print(f"  total time     : {result.total_time * 1e3:12.3f} ms")
@@ -414,7 +438,28 @@ def _cmd_validate(args) -> int:
                 print(f"  {p}")
         else:
             print(f"golden store: {len(configs)} entries clean")
+    if args.sanitize:
+        from .sanitize import render_matrix, sanitize_matrix
+
+        progress = None if args.quiet else (
+            lambda line: print(f"  {line}", file=sys.stderr))
+        cases = sanitize_matrix(app=args.app, progress=progress)
+        print(render_matrix(cases))
+        ok = ok and all(case.ok for case in cases)
     return 0 if ok else 1
+
+
+def _cmd_sanitize(args) -> int:
+    # Imported here: the sanitizer pulls in the whole app stack, which the
+    # other subcommands do not need at parse time.
+    from .sanitize import render_matrix, sanitize_matrix
+
+    progress = None if args.quiet else (
+        lambda line: print(f"  {line}", file=sys.stderr))
+    cases = sanitize_matrix(app=args.app, progress=progress)
+    print(render_matrix(cases))
+    clean = all(case.ok for case in cases)
+    return 1 if (args.strict and not clean) else 0
 
 
 def _cmd_lint(args) -> int:
@@ -506,6 +551,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "protocols": _cmd_protocols,
         "validate": _cmd_validate,
+        "sanitize": _cmd_sanitize,
         "lint": _cmd_lint,
         "perf": _cmd_perf,
     }

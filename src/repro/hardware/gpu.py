@@ -139,9 +139,13 @@ class GpuOp:
 
     ``done`` triggers when the operation completes on the device.
     ``wait_events`` are extra dependencies (CUDA events from other streams).
+    ``reads``/``writes`` are the logical buffers the op touches — pure
+    declarations for the concurrency sanitizer (docs/sanitizer.md); the
+    device model never reads them.
     """
 
-    __slots__ = ("work", "name", "done", "wait_events", "op_id", "in_graph_overhead")
+    __slots__ = ("work", "name", "done", "wait_events", "op_id",
+                 "in_graph_overhead", "reads", "writes")
 
     def __init__(
         self,
@@ -149,6 +153,8 @@ class GpuOp:
         work: WorkModel,
         name: str = "",
         wait_events: Optional[Iterable[Event]] = None,
+        reads: tuple = (),
+        writes: tuple = (),
     ):
         self.work = work
         self.name = name or type(work).__name__
@@ -156,6 +162,8 @@ class GpuOp:
         self.wait_events = list(wait_events or ())
         self.op_id = next(_op_ids)
         self.in_graph_overhead: Optional[float] = None  # set when run via CUDA graph
+        self.reads = tuple(reads)
+        self.writes = tuple(writes)
 
 
 class CudaEvent:
@@ -185,9 +193,14 @@ class CudaStream:
         self.ops_issued = 0
 
     # -- public API ----------------------------------------------------------
-    def enqueue(self, work: WorkModel, name: str = "", wait_events=None) -> GpuOp:
+    def enqueue(self, work: WorkModel, name: str = "", wait_events=None,
+                reads: tuple = (), writes: tuple = ()) -> GpuOp:
         """Submit an operation; returns the op (``op.done`` = completion)."""
-        op = GpuOp(self.device.engine, work, name=name, wait_events=wait_events)
+        op = GpuOp(self.device.engine, work, name=name, wait_events=wait_events,
+                   reads=reads, writes=writes)
+        san = self.device.engine.sanitizer
+        if san is not None:
+            san.on_op_enqueued(self, op)
         self._queue.put_nowait(op)
         self.ops_issued += 1
         return op
@@ -217,16 +230,21 @@ class CudaStream:
             cls = item.__class__
             if cls is not GpuOp:
                 if isinstance(item, CudaEvent):
+                    if eng.sanitizer is not None:
+                        eng.sanitizer.on_event_record(self, item)
                     item.fired.succeed()
                     continue
                 if isinstance(item, _WaitMarker):
                     pending_waits.append(item.event.fired)
                     continue
             op: GpuOp = item
+            deps = ()
             if pending_waits or op.wait_events:
                 deps = pending_waits + op.wait_events
                 pending_waits = []
                 yield eng.all_of(deps)
+            if eng.sanitizer is not None:
+                eng.sanitizer.on_op_dispatch(self, op, deps)
             yield from self.device._execute(op, self.priority)
 
 
@@ -320,6 +338,8 @@ class GpuDevice:
         yield duration
         self.trackers[kind].end(token)
         resource.release(req)
+        if self.engine.sanitizer is not None:
+            self.engine.sanitizer.on_op_done(op)
         op.done.succeed()
 
     # -- introspection --------------------------------------------------------------

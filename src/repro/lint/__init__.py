@@ -3,7 +3,7 @@
 The static counterpart of the runtime validation layer
 (docs/validation.md): where the :class:`~repro.validate.InvariantChecker`
 audits a *running* simulation, the linter proves protocol and determinism
-properties of the *source* — before anything runs.  Three rule families
+properties of the *source* — before anything runs.  Four rule families
 with stable ``RPL0xx`` codes (catalogue: docs/linting.md):
 
 * **SDAG protocol** (RPL001-RPL004): command factories never yielded,
@@ -12,7 +12,11 @@ with stable ``RPL0xx`` codes (catalogue: docs/linting.md):
 * **message flow** (RPL010-RPL011): cross-file matching of ``send``
   deposits against entry methods and ``when`` consumers;
 * **determinism** (RPL020-RPL023): wall-clock, unseeded RNG, OS entropy
-  and unordered-set iteration inside the simulation model packages.
+  and unordered-set iteration inside the simulation model packages;
+* **stream/DAG protocol** (RPL030-RPL036): TaskSpace literal-key misuse
+  (undeclared/redeclared/never-attached keys, completion-before-declare),
+  set-ordered stream launches, and monitors attached after ``run()`` —
+  the static counterpart of the runtime sanitizer (docs/sanitizer.md).
 
 Entry points: ``python -m repro lint [--strict] [--format json] PATH...``
 or :func:`run_lint` from code.  Stdlib-only (``ast`` + ``tokenize``).
@@ -27,6 +31,7 @@ from .engine import (
 )
 from .reporting import JSON_SCHEMA_VERSION, render_json, render_text, rules_catalogue
 from .rules import RULES, Finding, Rule
+from .streamdag import StreamDagChecker
 
 __all__ = [
     "DEFAULT_MAILBOX_ALLOWLIST",
@@ -37,6 +42,7 @@ __all__ = [
     "LintReport",
     "RULES",
     "Rule",
+    "StreamDagChecker",
     "render_json",
     "render_text",
     "rules_catalogue",

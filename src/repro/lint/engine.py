@@ -3,14 +3,16 @@
 One :class:`LintEngine` run parses every ``.py`` file under the given
 paths, builds a light semantic model (chare-like classes via transitive
 base-name closure from ``Chare``/``MpiProcess``/``AmpiProcess``, generator
-methods, message producers/consumers), then applies the three rule
-families of :mod:`repro.lint.rules` and :mod:`repro.lint.messageflow`.
+methods, message producers/consumers), then applies the rule families of
+:mod:`repro.lint.rules`, :mod:`repro.lint.streamdag` and
+:mod:`repro.lint.messageflow`.
 Findings suppressed by ``# repro-lint: disable=CODE`` comments
 (:mod:`repro.lint.suppressions`) are counted but not reported.
 
 Scoping:
 
-* SDAG-protocol and message-flow rules apply to every scanned file;
+* SDAG-protocol, stream/DAG-protocol (RPL030-RPL036) and message-flow
+  rules apply to every scanned file;
 * determinism rules (RPL020-RPL023) apply only to files inside the
   simulation model packages — path components ``repro`` plus one of
   ``config.determinism_parts`` (default ``sim``/``runtime``/``comm``/
@@ -37,6 +39,7 @@ from .rules import (
     SdagChecker,
     is_generator_fn,
 )
+from .streamdag import StreamDagChecker
 from .suppressions import is_suppressed, parse_suppressions
 
 __all__ = ["LintConfig", "LintReport", "LintEngine", "run_lint"]
@@ -201,6 +204,7 @@ class LintEngine:
                 if cls.name in chare_like:
                     SdagChecker(model.path, cls, model.module_generators,
                                 global_methods, add).check()
+            StreamDagChecker(model.path, model.tree, add).check()
             if self._determinism_in_scope(path):
                 DeterminismChecker(model.path, model.tree, add).check()
 

@@ -9,7 +9,10 @@ from .rules import RULES
 
 __all__ = ["render_text", "render_json", "rules_catalogue", "JSON_SCHEMA_VERSION"]
 
-JSON_SCHEMA_VERSION = 1
+# v2 added the per-finding "family" field (sdag / messageflow /
+# determinism / streamdag); every v1 field is unchanged, so v1 consumers
+# keep working.
+JSON_SCHEMA_VERSION = 2
 
 
 def render_text(report: LintReport) -> str:
@@ -44,6 +47,7 @@ def render_json(report: LintReport) -> str:
                 "col": f.col,
                 "code": f.code,
                 "rule": RULES[f.code].name if f.code in RULES else f.code,
+                "family": RULES[f.code].family if f.code in RULES else "unknown",
                 "message": f.message,
             }
             for f in report.findings
@@ -54,10 +58,11 @@ def render_json(report: LintReport) -> str:
 
 def rules_catalogue() -> str:
     """The rule table printed by ``repro lint --rules``."""
-    lines = ["code    name                        summary",
-             "------  --------------------------  " + "-" * 44]
+    lines = ["code    family       name                        summary",
+             "------  -----------  --------------------------  " + "-" * 44]
     for rule in RULES.values():
-        lines.append(f"{rule.code}  {rule.name:26s}  {rule.summary}")
+        lines.append(
+            f"{rule.code}  {rule.family:11s}  {rule.name:26s}  {rule.summary}")
     lines.append("")
     lines.append("suppress per line with:  # repro-lint: disable=CODE[,CODE] -- why")
     lines.append("full catalogue with rationale: docs/linting.md")

@@ -57,41 +57,70 @@ class Rule:
     code: str
     name: str
     summary: str
+    family: str = "sdag"
 
 
 _RULE_LIST = [
-    Rule("RPL000", "parse-error", "file could not be parsed; nothing else was checked"),
+    Rule("RPL000", "parse-error", "file could not be parsed; nothing else was checked",
+         family="sdag"),
     Rule("RPL001", "unyielded-command",
          "command factory (work/launch/launch_graph/when/wait/wait_all/"
          "isend/irecv/waitall/sync) called but its result discarded — commands "
-         "do nothing unless yielded to the scheduler"),
+         "do nothing unless yielded to the scheduler", family="sdag"),
     Rule("RPL002", "helper-without-yield-from",
          "generator entry method/helper invoked as a plain call — without "
-         "'yield from' the body never executes"),
+         "'yield from' the body never executes", family="sdag"),
     Rule("RPL003", "yield-of-non-command",
          "generator entry method yields a value that cannot be a Command "
-         "(literal, tuple, comparison, bare yield, ...)"),
+         "(literal, tuple, comparison, bare yield, ...)", family="sdag"),
     Rule("RPL004", "suspend-in-plain-method",
          "plain (non-generator) entry method calls a suspend-only API "
-         "(when/wait/wait_all/sync); only generator entry methods can suspend"),
+         "(when/wait/wait_all/sync); only generator entry methods can suspend",
+         family="sdag"),
     Rule("RPL010", "deposit-never-consumed",
          "send targets a method/mailbox with no entry-method definition and "
-         "no when() consumer anywhere — dropped work or deadlock"),
+         "no when() consumer anywhere — dropped work or deadlock",
+         family="messageflow"),
     Rule("RPL011", "when-without-sender",
          "when() waits on a mailbox with no statically-visible sender — "
-         "likely deadlock"),
+         "likely deadlock", family="messageflow"),
     Rule("RPL020", "wall-clock-in-model",
          "wall-clock read (time.time/perf_counter/datetime.now/...) in "
-         "simulation model code; model time must come from the engine"),
+         "simulation model code; model time must come from the engine",
+         family="determinism"),
     Rule("RPL021", "unseeded-random",
          "global or unseeded RNG (random.*, numpy legacy global, bare "
-         "default_rng()); use sim.rng.RandomStreams"),
+         "default_rng()); use sim.rng.RandomStreams", family="determinism"),
     Rule("RPL022", "os-entropy",
          "OS entropy source (os.urandom/uuid.uuid4/secrets.*) — "
-         "nondeterministic across runs"),
+         "nondeterministic across runs", family="determinism"),
     Rule("RPL023", "unordered-set-iteration",
          "iteration over an unordered set; order varies with hashing and "
-         "perturbs trace digests — sort first"),
+         "perturbs trace digests — sort first", family="determinism"),
+    Rule("RPL030", "completion-of-undeclared-key",
+         "TaskSpace.completion() of a literal task key never declared in "
+         "this file — raises KeyError at runtime", family="streamdag"),
+    Rule("RPL031", "completion-before-declare",
+         "TaskSpace.completion() of a literal task key at a line before the "
+         "key's declare — the event cannot exist yet", family="streamdag"),
+    Rule("RPL032", "declared-never-attached",
+         "literal task key declared but never attached in this file — a "
+         "never-launched task passes the finish checks silently",
+         family="streamdag"),
+    Rule("RPL033", "unordered-stream-launch",
+         "stream launch whose wait list is built from an unordered set; "
+         "event order varies with hashing and perturbs trace digests",
+         family="streamdag"),
+    Rule("RPL034", "redeclared-key",
+         "the same literal task key declared twice — TaskSpace.declare "
+         "raises at runtime", family="streamdag"),
+    Rule("RPL035", "attach-of-undeclared-key",
+         "TaskSpace.attach() of a literal task key never declared in this "
+         "file — raises KeyError at runtime", family="streamdag"),
+    Rule("RPL036", "monitor-attach-after-run-start",
+         "monitor attached to an engine/runtime after its run() already "
+         "executed in the same scope — pure observers see nothing "
+         "retroactively", family="streamdag"),
 ]
 
 RULES: dict[str, Rule] = {r.code: r for r in _RULE_LIST}

@@ -111,8 +111,10 @@ class MpiProcess:
         return Work(seconds)
 
     def launch(self, stream: CudaStream, work: WorkModel, name: str = "",
-               wait: Iterable[Event] = ()) -> Launch:
-        return Launch(stream, work, name=name, wait_events=tuple(wait))
+               wait: Iterable[Event] = (), reads: Iterable[tuple] = (),
+               writes: Iterable[tuple] = ()) -> Launch:
+        return Launch(stream, work, name=name, wait_events=tuple(wait),
+                      reads=tuple(reads), writes=tuple(writes))
 
     def launch_graph(self, graph_exec: GraphExec, priority: int = 0,
                      after: Iterable[Event] = ()) -> LaunchGraph:
@@ -232,7 +234,10 @@ class MpiWorld:
             elif isinstance(cmd, Launch):
                 yield from busy(cmd.stream.device.cpu_launch_cost(cmd.work))
                 value = cmd.stream.enqueue(cmd.work, name=cmd.name,
-                                           wait_events=list(cmd.wait_events))
+                                           wait_events=list(cmd.wait_events),
+                                           reads=cmd.reads, writes=cmd.writes)
+                if engine.sanitizer is not None:
+                    engine.sanitizer.on_launch_issue(proc, value)
             elif isinstance(cmd, LaunchGraph):
                 yield from busy(cmd.exec.cpu_launch_cost)
                 value = cmd.exec.launch(priority=cmd.priority, after=list(cmd.after))
@@ -242,6 +247,8 @@ class MpiWorld:
                     proc.rank, cmd.dest, cmd.size, tag=("mpi", cmd.tag),
                     on_device=cmd.device, priority=PRIORITY_COMM, payload=cmd.payload,
                 )
+                if engine.sanitizer is not None:
+                    engine.sanitizer.on_transfer_posted(handle, proc)
                 value = Request(handle, "send")
             elif isinstance(cmd, _Irecv):
                 yield from busy(costs.call_overhead_s)
@@ -249,16 +256,23 @@ class MpiWorld:
                     cmd.source, proc.rank, cmd.size, tag=("mpi", cmd.tag),
                     on_device=cmd.device,
                 )
+                if engine.sanitizer is not None:
+                    engine.sanitizer.on_transfer_posted(handle, proc)
                 value = Request(handle, "recv")
             elif isinstance(cmd, _WaitAll):
                 yield from busy(costs.completion_s * max(1, len(cmd.requests)))
                 pending = [r.done for r in cmd.requests if not r.done.processed]
                 if pending:
                     yield from blocking_wait(engine.all_of(pending))
+                if engine.sanitizer is not None:
+                    for r in cmd.requests:
+                        engine.sanitizer.on_wake(proc, r.done)
                 value = [r.data for r in cmd.requests]
             elif isinstance(cmd, Await):
                 if not cmd.event.processed:
                     yield from blocking_wait(cmd.event)
+                if engine.sanitizer is not None:
+                    engine.sanitizer.on_wake(proc, cmd.event)
                 value = cmd.event.value
             else:
                 raise SimulationError(f"rank {proc.rank} yielded unknown command {cmd!r}")

@@ -92,25 +92,32 @@ class Channel:
         my_pe = chare.pe.index
         scheduler = runtime.scheduler_of(my_pe)
         poll = runtime.costs.hapi_poll_s
+        san = runtime.engine.sanitizer
+        # Causality snapshot at the *call* site: the thunk only runs after
+        # the NIC-overhead charge, by which point the chare may have moved on.
+        snap = san.snapshot(chare) if san is not None else None
 
         def thunk():
             handle: TransferHandle = op(runtime.ucx, my_pe, self.peer_pe)
+            if san is not None:
+                san.on_transfer_posted(handle, chare, snapshot=snap)
 
             def on_done(ev):
                 # Deposit (note, data): data is the sender's payload for
                 # receives, None for send completions.
                 data = (note, ev.value)
+                msg = EntryMessage(
+                    array_id=self.array.array_id,
+                    index=chare.index,
+                    method=mailbox,
+                    ref=ref,
+                    payload=data,
+                    priority=MsgPriority.GPU_COMPLETION,
+                )
+                if san is not None:
+                    san.on_msg_deposit(msg, event=handle.done)
                 runtime.engine.pause(poll).add_callback(
-                    lambda _t: scheduler.enqueue(
-                        EntryMessage(
-                            array_id=self.array.array_id,
-                            index=chare.index,
-                            method=mailbox,
-                            ref=ref,
-                            payload=data,
-                            priority=MsgPriority.GPU_COMPLETION,
-                        )
-                    )
+                    lambda _t: scheduler.enqueue(msg)
                 )
 
             handle.done.add_callback(on_done)

@@ -92,9 +92,13 @@ class Chare:
         work: WorkModel,
         name: str = "",
         wait: Iterable[Event] = (),
+        reads: Iterable[tuple] = (),
+        writes: Iterable[tuple] = (),
     ) -> Launch:
-        """Launch GPU work (pays the host-side launch cost); yields the op."""
-        return Launch(stream, work, name=name, wait_events=tuple(wait))
+        """Launch GPU work (pays the host-side launch cost); yields the op.
+        ``reads``/``writes`` declare the buffers touched, for the sanitizer."""
+        return Launch(stream, work, name=name, wait_events=tuple(wait),
+                      reads=tuple(reads), writes=tuple(writes))
 
     def launch_graph(self, graph_exec: GraphExec, priority: int = 0,
                      after: Iterable[Event] = ()) -> LaunchGraph:

@@ -54,12 +54,18 @@ class Work(Command):
 
 @dataclass(frozen=True)
 class Launch(Command):
-    """Launch GPU work onto ``stream``; yields back the :class:`GpuOp`."""
+    """Launch GPU work onto ``stream``; yields back the :class:`GpuOp`.
+
+    ``reads``/``writes`` declare the logical buffers the op touches for
+    the concurrency sanitizer (docs/sanitizer.md); they never affect
+    scheduling."""
 
     stream: CudaStream
     work: WorkModel
     name: str = ""
     wait_events: tuple = ()
+    reads: tuple = ()
+    writes: tuple = ()
 
 
 @dataclass(frozen=True)

@@ -44,9 +44,14 @@ def gpu_message_send(chare, index, method: str, size: int, ref: Any = None) -> N
         runtime.engine.metrics.inc("gm.sends", pe=src_pe)
         runtime.engine.metrics.inc("gm.bytes", size, pe=src_pe)
 
+    san = runtime.engine.sanitizer
+    snap = san.snapshot(chare) if san is not None else None
+
     def thunk():
-        runtime.ucx.isend(src_pe, dst_pe, size, tag=tag, on_device=True,
-                          priority=PRIORITY_COMM)
+        handle = runtime.ucx.isend(src_pe, dst_pe, size, tag=tag, on_device=True,
+                                   priority=PRIORITY_COMM)
+        if san is not None:
+            san.on_transfer_posted(handle, chare, snapshot=snap)
 
     cost = runtime.costs.send_overhead_s + runtime.cluster.spec.node.nic.overhead_s
     scheduler.post_send(cost, thunk)
@@ -68,19 +73,25 @@ def _gm_post(self, msg: EntryMessage) -> None:
     scheduler = runtime.scheduler_of(self.pe.index)
     poll = runtime.costs.hapi_poll_s
 
+    san = runtime.engine.sanitizer
+    snap = san.snapshot(self) if san is not None else None
+
     def thunk():
         handle = runtime.ucx.irecv(info["src_pe"], self.pe.index, info["size"],
                                    tag=info["tag"], on_device=True)
+        if san is not None:
+            san.on_transfer_posted(handle, self, snapshot=snap)
 
         def on_done(_ev):
+            deposit = EntryMessage(
+                array_id=self.array.array_id, index=self.index,
+                method=info["method"], ref=msg.ref,
+                priority=MsgPriority.GPU_COMPLETION,
+            )
+            if san is not None:
+                san.on_msg_deposit(deposit, event=handle.done)
             runtime.engine.pause(poll).add_callback(
-                lambda _t: scheduler.enqueue(
-                    EntryMessage(
-                        array_id=self.array.array_id, index=self.index,
-                        method=info["method"], ref=msg.ref,
-                        priority=MsgPriority.GPU_COMPLETION,
-                    )
-                )
+                lambda _t: scheduler.enqueue(deposit)
             )
 
         handle.done.add_callback(on_done)

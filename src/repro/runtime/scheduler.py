@@ -143,20 +143,27 @@ class Scheduler:
             token = self.pe.busy.begin()
             yield seconds
             self.pe.busy.end(token)
+        san = engine.sanitizer
         if method is None:
             # Mailbox deposit: resume a matching `when`, else buffer.
             frame = chare._take_waiting_frame(msg.method, msg.ref)
             if frame is not None:
+                if san is not None:
+                    san.on_msg_consume(chare, msg)
                 yield from self._drive(frame, msg)
             else:
                 chare._mailbox_push(msg)
         elif is_gen:
+            if san is not None:
+                san.on_msg_consume(chare, msg)
             coroutine = method(chare, msg)
             frame = Frame(chare, coroutine, method=msg.method)
             chare._frames.append(frame)
             self.runtime._frame_started(frame)
             yield from self._drive(frame, None)
         else:
+            if san is not None:
+                san.on_msg_consume(chare, msg)
             method(chare, msg)
             if self._pending_charge > 0 or self._outbox:
                 yield from self._flush()
@@ -192,6 +199,8 @@ class Scheduler:
             if kind == _WHEN:
                 msg = chare._mailbox_pop(cmd.method, cmd.ref)
                 if msg is not None:
+                    if engine.sanitizer is not None:
+                        engine.sanitizer.on_msg_consume(chare, msg)
                     value = msg
                     continue
                 if self._pending_charge > 0 or self._outbox:
@@ -209,6 +218,8 @@ class Scheduler:
             else:  # _AWAIT
                 event = cmd.event
                 if event.processed:
+                    if engine.sanitizer is not None:
+                        engine.sanitizer.on_wake(chare, event)
                     value = event.value
                     continue
                 self._register_wakeup(frame, event, cmd.priority)
@@ -224,8 +235,11 @@ class Scheduler:
                 if metrics is not None:
                     metrics.inc("sched.launches", pe=pe.index, kind="kernel")
                 value = cmd.stream.enqueue(
-                    cmd.work, name=cmd.name, wait_events=list(cmd.wait_events)
+                    cmd.work, name=cmd.name, wait_events=list(cmd.wait_events),
+                    reads=cmd.reads, writes=cmd.writes,
                 )
+                if engine.sanitizer is not None:
+                    engine.sanitizer.on_launch_issue(chare, value)
             elif kind == _GRAPH:
                 if metrics is not None:
                     metrics.inc("sched.launches", pe=pe.index, kind="graph")
@@ -237,6 +251,9 @@ class Scheduler:
         poll = self.costs.hapi_poll_s
 
         def on_fire(ev):
+            san = self.engine.sanitizer
+            if san is not None:
+                san.on_wake(frame.chare, ev)
             self.engine.pause(poll).add_callback(
                 lambda _t: self.enqueue(Resume(frame, ev.value, priority))
             )

@@ -93,6 +93,9 @@ class TaskSpace:
             raise RuntimeError(f"{self.name}: task {rec.key} issued twice")
         rec.issued_at = engine.now
         self._events[rec.key] = done_event
+        sanitizer = getattr(engine, "sanitizer", None)
+        if sanitizer is not None:
+            sanitizer.on_task_attach(self, rec.key, done_event)
 
         def _record_finish(_ev, rec=rec, engine=engine):
             if rec.finished_at is not None:
@@ -109,6 +112,12 @@ class TaskSpace:
     def record(self, key) -> TaskRecord:
         return self._records[tuple(key)]
 
+    def declared_deps(self, key) -> tuple:
+        """The *currently declared* dependency keys of ``key`` (the
+        sanitizer walks these to build transitive closures; fault injectors
+        mutate them to model a forgotten declaration)."""
+        return self._records[tuple(key)].deps
+
     def journal(self) -> list:
         """All records in declaration (topological) order."""
         return list(self._records.values())
@@ -117,8 +126,23 @@ class TaskSpace:
         """Keys declared but not (yet) finished, declaration order."""
         return [rec.key for rec in self._records.values() if not rec.finished]
 
+    def never_attached(self) -> list:
+        """Keys declared but never bound to a completion event, declaration
+        order.  A never-launched task passes silently through the finish
+        checks when nothing downstream consumes it — this names it."""
+        return [rec.key for rec in self._records.values()
+                if rec.issued_at is None]
+
     def check_all_finished(self) -> None:
-        """Raise unless every declared task was attached and completed."""
+        """Raise unless every declared task was attached and completed.
+        Declared-but-never-attached tasks are called out separately (with
+        their keys) from attached-but-unfinished ones."""
+        unattached = self.never_attached()
+        if unattached:
+            raise RuntimeError(
+                f"{self.name}: {len(unattached)}/{len(self._records)} task(s) "
+                f"declared but never attached, first: {unattached[:5]}"
+            )
         missing = self.unfinished()
         if missing:
             raise RuntimeError(

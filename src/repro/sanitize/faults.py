@@ -1,0 +1,108 @@
+"""Fault injectors: deliberately break ordering so the sanitizer's
+detectors can be proven live.
+
+Each injector models a *plausible authoring mistake*, not random
+corruption:
+
+* :func:`drop_cholesky_dep` — the author forgot to declare one edge of the
+  Cholesky task DAG.  The declaration disappears from the TaskSpace ledger
+  AND from the gating that the frontends derive from it (``local_deps``
+  for same-unit edges, the ``reads`` arrival gate for cross-unit edges) —
+  exactly what writing the wrong dependency list produces.
+* :func:`drop_wait` — the author forgot one ``wait_events`` edge on a
+  kernel launch (e.g. unpacking a halo without waiting for its H2D copy).
+
+Injectors mutate only app-side plan/ledger state or monkeypatch the
+enqueue path inside a context manager; the simulator core is untouched.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from contextlib import contextmanager
+
+__all__ = ["declared_dep_pairs", "drop_cholesky_dep", "drop_wait"]
+
+
+def declared_dep_pairs(ctx) -> list:
+    """Every ``(task_key, dep_key)`` edge declared in ``ctx``'s TaskSpace,
+    declaration order — the enumeration domain for the deletion property
+    test."""
+    return [(rec.key, dep) for rec in ctx.tasks.journal() for dep in rec.deps]
+
+
+def _factor_row(dep_key) -> int:
+    """The factor row a dependency's output tile lives in: ``("potrf", k)``
+    produces tile ``(k, k)`` (row k), ``("trsm", a, k)`` produces
+    ``(a, k)`` (row a)."""
+    return dep_key[1]
+
+
+def drop_cholesky_dep(ctx, task_key, dep_key) -> tuple:
+    """Remove the declared edge ``dep_key -> task_key`` from a built
+    :class:`~repro.apps.cholesky.context.CholeskyContext`, as if the author
+    had never written it.
+
+    Three coupled mutations, mirroring how the frontends consume the plan:
+
+    1. the TaskSpace record loses the dep (so the sanitizer's declared
+       closure no longer contains it — the ground truth being checked);
+    2. the task's ``local_deps`` loses it (no ``wait_events`` gating);
+    3. for a cross-unit dep (always a factor task), the task's ``reads``
+       row is dropped, so the consumer no longer waits for the tile's
+       arrival either.
+
+    Returns ``(task_key, dep_key)`` for assertion messages.
+    """
+    task_key, dep_key = tuple(task_key), tuple(dep_key)
+    rec = ctx.tasks.record(task_key)
+    if dep_key not in rec.deps:
+        raise ValueError(f"{dep_key} is not a declared dep of {task_key}")
+    rec.deps = tuple(d for d in rec.deps if d != dep_key)
+    remote = ctx._task_unit(dep_key) != ctx._task_unit(task_key)
+    for plan in ctx.plan:
+        for unit, infos in plan.tasks.items():
+            for i, info in enumerate(infos):
+                if info.key != task_key:
+                    continue
+                changes = {}
+                if dep_key in info.local_deps:
+                    changes["local_deps"] = tuple(
+                        d for d in info.local_deps if d != dep_key)
+                if remote and dep_key[0] in ("potrf", "trsm"):
+                    row = _factor_row(dep_key)
+                    if row in info.reads:
+                        changes["reads"] = tuple(
+                            a for a in info.reads if a != row)
+                if changes:
+                    infos[i] = dataclasses.replace(info, **changes)
+    return (task_key, dep_key)
+
+
+@contextmanager
+def drop_wait(match: str, count: int = 1):
+    """Strip the ``wait_events`` of the first ``count`` stream ops whose
+    name contains ``match`` — the forgotten-event-dependence bug (e.g. a
+    halo unpack kernel launched without waiting for its H2D copy).
+
+    Yields a dict with the remaining ``"left"`` count so tests can assert
+    the injection actually happened.
+    """
+    from ..hardware.gpu import CudaStream
+
+    original = CudaStream.enqueue
+    state = {"left": count, "dropped": 0}
+
+    def patched(self, work, name="", wait_events=None, reads=(), writes=()):
+        if state["left"] and wait_events and match in name:
+            state["left"] -= 1
+            state["dropped"] += 1
+            wait_events = None
+        return original(self, work, name=name, wait_events=wait_events,
+                        reads=reads, writes=writes)
+
+    CudaStream.enqueue = patched
+    try:
+        yield state
+    finally:
+        CudaStream.enqueue = original

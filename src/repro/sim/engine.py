@@ -419,6 +419,7 @@ class Engine:
         self._active_process: Optional[Process] = None
         self.tracer = None  # set by sim.tracing.Tracer.attach()
         self.metrics = None  # set by obs.metrics.MetricsRegistry.attach()
+        self.sanitizer = None  # set by sanitize.Sanitizer.attach()
         self._monitors: list[Callable[[float, Event], None]] = []
         #: Events processed over the engine's lifetime (plain int: the
         #: events/sec numerator for ``benchmarks/bench_engine.py``).

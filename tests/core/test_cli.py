@@ -198,11 +198,13 @@ def test_lint_json_schema(capsys):
     assert rc == 0
     data = json.loads(capsys.readouterr().out)
     assert set(data) == {"version", "files", "suppressed", "counts", "findings"}
-    assert data["version"] == 1
+    assert data["version"] == 2
     assert data["files"] == 1
     assert data["counts"] == {"RPL001": 2}
     for finding in data["findings"]:
-        assert set(finding) == {"path", "line", "col", "code", "rule", "message"}
+        assert set(finding) == {"path", "line", "col", "code", "rule",
+                                "family", "message"}
+        assert finding["family"] == "sdag"
     assert data["findings"][0]["rule"] == "unyielded-command"
 
 

@@ -1,0 +1,20 @@
+"""Negative fixture: correct TaskSpace, launch and monitor protocol."""
+
+
+def build_and_run(ts, engine, gpu, stream, work, tracer):
+    tracer.attach(engine)  # monitors attach before run()
+    ts.declare(("potrf", 0))
+    ts.declare(("trsm", 1, 0), deps=[("potrf", 0)])
+    op = gpu.launch(stream, work, wait=[])
+    ts.attach(("potrf", 0), op.done, engine)
+    dep = ts.completion(("potrf", 0))
+    op2 = gpu.launch(stream, work, wait=[dep])
+    ts.attach(("trsm", 1, 0), op2.done, engine)
+    engine.run()
+
+
+def computed_keys_are_out_of_scope(ts, engine, done, k):
+    # Computed keys resolve at runtime only; the literal-key rules must
+    # not guess about them.
+    ts.attach(("gemm", k, k, k - 1), done, engine)
+    return ts.completion(("syrk", k, k - 1)) if k else None

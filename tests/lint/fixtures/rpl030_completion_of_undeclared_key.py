@@ -1,0 +1,10 @@
+"""Fixture: completion() of a task key this file never declares."""
+
+
+def build(ts):
+    ts.declare(("potrf", 0))
+
+
+def consume(ts, gpu, stream, work):
+    ev = ts.completion(("trsm", 1, 0))  # EXPECT: RPL030
+    return gpu.launch(stream, work, wait=[ev])

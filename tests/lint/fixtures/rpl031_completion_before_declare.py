@@ -1,0 +1,9 @@
+"""Fixture: completion() textually before the key's declare."""
+
+
+def consume(ts):
+    return ts.completion(("potrf", 0))  # EXPECT: RPL031
+
+
+def build(ts):
+    ts.declare(("potrf", 0))

@@ -1,0 +1,7 @@
+"""Fixture: a declared task key that is never attached anywhere here."""
+
+
+def build(ts, engine, done):
+    ts.declare(("potrf", 0))
+    ts.declare(("trsm", 1, 0), deps=[("potrf", 0)])  # EXPECT: RPL032
+    ts.attach(("potrf", 0), done, engine)

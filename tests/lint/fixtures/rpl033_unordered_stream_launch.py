@@ -1,0 +1,9 @@
+"""Fixture: stream launch gated on a set of events (hash-ordered)."""
+
+
+def go(gpu, stream, work, e1, e2):
+    return gpu.launch(stream, work, wait={e1, e2})  # EXPECT: RPL033
+
+
+def go_comprehension(gpu, stream, work, ops):
+    return gpu.launch(stream, work, wait={op.done for op in ops})  # EXPECT: RPL033

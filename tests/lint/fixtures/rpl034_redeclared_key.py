@@ -1,0 +1,6 @@
+"""Fixture: the same task key declared twice."""
+
+
+def build(ts):
+    ts.declare(("potrf", 0))
+    ts.declare(("potrf", 0))  # EXPECT: RPL034

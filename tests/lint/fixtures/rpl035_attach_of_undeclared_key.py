@@ -1,0 +1,7 @@
+"""Fixture: attach() of a task key this file never declares."""
+
+
+def build(ts, engine, done):
+    ts.declare(("potrf", 0))
+    ts.attach(("potrf", 0), done, engine)
+    ts.attach(("trsm", 1, 0), done, engine)  # EXPECT: RPL035

@@ -137,6 +137,22 @@ def test_render_json_roundtrip(tmp_path):
     assert data["version"] == JSON_SCHEMA_VERSION
     assert data["counts"] == {"RPL022": 2}
     assert all(
-        set(f) == {"path", "line", "col", "code", "rule", "message"}
+        set(f) == {"path", "line", "col", "code", "rule", "family", "message"}
         for f in data["findings"]
     )
+
+
+def test_render_json_v2_families_and_v1_fields():
+    """Schema v2 adds 'family' to each finding; every v1 field survives."""
+    report = run_lint(
+        [FIXTURES / "rpl022_os_entropy.py",
+         FIXTURES / "rpl034_redeclared_key.py"],
+        LintConfig(determinism_parts=None),
+    )
+    data = json.loads(render_json(report))
+    assert data["version"] == 2
+    v1_fields = {"path", "line", "col", "code", "rule", "message"}
+    assert all(v1_fields <= set(f) for f in data["findings"])
+    families = {f["code"]: f["family"] for f in data["findings"]}
+    assert families["RPL022"] == "determinism"
+    assert families["RPL034"] == "streamdag"

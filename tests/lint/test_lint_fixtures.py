@@ -35,7 +35,7 @@ def expected_findings(path: Path) -> list[tuple[str, int]]:
 
 
 def test_fixture_corpus_is_nonempty():
-    assert len(ALL_FIXTURES) >= 14
+    assert len(ALL_FIXTURES) >= 22
 
 
 @pytest.mark.parametrize("path", ALL_FIXTURES, ids=lambda p: p.name)
@@ -55,7 +55,8 @@ def test_every_rule_has_a_failing_fixture():
 
 def test_every_rule_family_has_a_negative_fixture():
     names = {p.name for p in ALL_FIXTURES}
-    assert {"ok_sdag.py", "ok_messageflow.py", "ok_determinism.py"} <= names
+    assert {"ok_sdag.py", "ok_messageflow.py", "ok_determinism.py",
+            "ok_streamdag.py"} <= names
 
 
 def test_suppressed_fixture_counts_suppressions():

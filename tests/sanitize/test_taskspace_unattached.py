@@ -1,0 +1,47 @@
+"""Regression: ``TaskSpace.check_all_finished`` names declared-but-never-
+attached tasks (previously they slipped through when nothing downstream
+consumed them), and a fully attached + finished space passes."""
+
+import pytest
+
+from repro.runtime.taskspace import TaskSpace
+from repro.sim import Engine, Event
+
+
+def test_never_attached_tasks_are_named():
+    ts = TaskSpace(name="demo")
+    ts.declare(("potrf", 7))  # repro-lint: disable=RPL032 -- deliberately never attached (regression under test)
+    ts.declare(("trsm", 8, 7), deps=[("potrf", 7)])  # repro-lint: disable=RPL032 -- deliberately never attached (regression under test)
+    assert ts.never_attached() == [("potrf", 7), ("trsm", 8, 7)]
+    with pytest.raises(RuntimeError, match="never attached") as excinfo:
+        ts.check_all_finished()
+    message = str(excinfo.value)
+    assert "('potrf', 7)" in message and "('trsm', 8, 7)" in message
+    assert "2/2" in message
+
+
+def test_partially_attached_space_names_only_the_stragglers():
+    engine = Engine()
+    ts = TaskSpace(name="demo2")
+    ts.declare(("syrk", 1, 0))
+    ts.declare(("gemm", 2, 1, 0), deps=[("syrk", 1, 0)])  # repro-lint: disable=RPL032 -- deliberately never attached (regression under test)
+    done = Event(engine, name="syrk-done")
+    ts.attach(("syrk", 1, 0), done, engine)
+    with pytest.raises(RuntimeError, match="never attached") as excinfo:
+        ts.check_all_finished()
+    message = str(excinfo.value)
+    assert "('gemm', 2, 1, 0)" in message
+    assert "('syrk', 1, 0)" not in message
+    assert "1/2" in message
+
+
+def test_attached_and_finished_space_passes():
+    engine = Engine()
+    ts = TaskSpace(name="demo3")
+    ts.declare(("potrf", 0))
+    done = Event(engine, name="potrf-done")
+    ts.attach(("potrf", 0), done, engine)
+    done.succeed()
+    engine.run()
+    ts.check_all_finished()
+    assert ts.never_attached() == []
