@@ -21,6 +21,7 @@ Environment knobs:
 from __future__ import annotations
 
 import os
+import subprocess
 from datetime import datetime, timezone
 from pathlib import Path
 
@@ -52,24 +53,38 @@ def make_runner() -> ParallelRunner:
     return ParallelRunner(jobs=jobs, cache=cache)
 
 
+def current_commit() -> str:
+    """Short git rev of HEAD, or ``""`` outside a checkout — stamped into
+    every history entry so the trend dashboard (``repro perf trend``) can
+    draw per-PR boundary markers."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent, capture_output=True,
+            text=True, timeout=10, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return ""
+
+
 def record_bench_meta(figure_id: str, stats) -> None:
     """Append one figure's runner metrics to its timestamped history in
     ``results/bench_meta.json`` — each run extends the figure's perf
     trajectory (``{"latest": ..., "history": [...]}``) instead of erasing
     the previous one."""
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    append_bench_history(
-        BENCH_META_PATH,
-        figure_id,
-        {
-            "points": stats.points,
-            "cache_hits": stats.cache_hits,
-            "retries": stats.retries,
-            "jobs": stats.jobs,
-            "wall_s": round(stats.wall_s, 6),
-        },
-        now=datetime.now(timezone.utc),
-    )
+    entry = {
+        "points": stats.points,
+        "cache_hits": stats.cache_hits,
+        "retries": stats.retries,
+        "jobs": stats.jobs,
+        "wall_s": round(stats.wall_s, 6),
+    }
+    commit = current_commit()
+    if commit:
+        entry["commit"] = commit
+    append_bench_history(BENCH_META_PATH, figure_id, entry,
+                         now=datetime.now(timezone.utc))
 
 
 def report(fig, claims, extra_notes=(), runner=None):

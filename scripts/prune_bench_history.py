@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Prune ``results/bench_meta.json`` trajectories in place.
+
+``append_bench_history`` caps each key's history at its own limit (200
+entries), but a long-lived checkout still accumulates noise: abandoned
+experiment runs, dozens of identical-commit entries from local loops.
+This script trims every key's history to the newest ``--keep`` entries
+(optionally collapsing runs of consecutive same-commit entries to their
+last run first) and rewrites ``latest`` to match, so the perf-trend
+dashboard (``repro perf trend``) stays focused on recent movement.
+
+Usage::
+
+    python scripts/prune_bench_history.py [--meta results/bench_meta.json]
+        [--keep 50] [--collapse-commits] [--dry-run]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_META = REPO_ROOT / "results" / "bench_meta.json"
+
+
+def collapse_commits(history: list[dict]) -> list[dict]:
+    """Keep only the last entry of each run of consecutive same-commit
+    entries (entries without a commit stamp are always kept)."""
+    out: list[dict] = []
+    for entry in history:
+        commit = entry.get("commit")
+        if (out and commit is not None
+                and out[-1].get("commit") == commit):
+            out[-1] = entry
+        else:
+            out.append(entry)
+    return out
+
+
+def prune(meta: dict, keep: int, collapse: bool) -> tuple[dict, int]:
+    """Trimmed copy of ``meta`` plus the number of entries dropped."""
+    dropped = 0
+    out: dict = {}
+    for key, slot in meta.items():
+        if not isinstance(slot, dict):
+            out[key] = slot
+            continue
+        if isinstance(slot.get("history"), list):
+            history = [e for e in slot["history"] if isinstance(e, dict)]
+        else:
+            history = [slot]  # legacy flat entry
+        before = len(history)
+        if collapse:
+            history = collapse_commits(history)
+        history = history[-keep:]
+        dropped += before - len(history)
+        if history:
+            out[key] = {"latest": history[-1], "history": history}
+    return out, dropped
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--meta", default=str(DEFAULT_META), metavar="PATH",
+                        help=f"bench-meta file (default {DEFAULT_META})")
+    parser.add_argument("--keep", type=int, default=50, metavar="N",
+                        help="newest entries to keep per key (default 50)")
+    parser.add_argument("--collapse-commits", action="store_true",
+                        help="first collapse consecutive same-commit entries "
+                             "to their last run")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="report what would be dropped without writing")
+    args = parser.parse_args(argv)
+    if args.keep < 1:
+        parser.error("--keep must be >= 1")
+
+    path = Path(args.meta)
+    try:
+        meta = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"prune_bench_history: cannot read {path}: {exc}",
+              file=sys.stderr)
+        return 2
+    if not isinstance(meta, dict):
+        print(f"prune_bench_history: {path} is not a JSON object",
+              file=sys.stderr)
+        return 2
+
+    pruned, dropped = prune(meta, args.keep, args.collapse_commits)
+    for key in sorted(pruned):
+        slot = pruned[key]
+        if isinstance(slot, dict) and "history" in slot:
+            print(f"  {key}: {len(slot['history'])} entr"
+                  f"{'y' if len(slot['history']) == 1 else 'ies'} kept")
+    print(f"{dropped} entr{'y' if dropped == 1 else 'ies'} dropped"
+          f"{' (dry run, nothing written)' if args.dry_run else ''}")
+    if not args.dry_run and dropped:
+        path.write_text(json.dumps(pruned, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

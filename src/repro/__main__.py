@@ -1,5 +1,17 @@
 """``python -m repro`` entry point."""
 
+import os
+import sys
+
 from .cli import main
 
-raise SystemExit(main())
+try:
+    code = main()
+    sys.stdout.flush()
+except BrokenPipeError:
+    # Downstream pager/head closed the pipe: the POSIX-polite exit, not
+    # a traceback.  Point stdout at devnull so the interpreter's final
+    # implicit flush cannot raise again.
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    code = 141  # 128 + SIGPIPE, the conventional shell encoding
+raise SystemExit(code)

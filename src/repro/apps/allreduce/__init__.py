@@ -19,7 +19,7 @@ from .charm_app import make_allreduce_block_class
 from .config import AllreduceConfig, AllreduceResult
 from .context import AllreduceContext, AllreduceData, reference_allreduce
 from .mpi_app import make_allreduce_rank_class
-from .phases import ALLREDUCE_PHASES, classify_allreduce_op
+from .phases import ALLREDUCE_PHASES, ALLREDUCE_PHASE_KERNELS, classify_allreduce_op
 
 __all__ = [
     "ALLREDUCE_PHASES",
@@ -100,6 +100,7 @@ SPEC = register(AppSpec(
     make_ampi_rank_class=make_allreduce_ampi_rank_class,
     phases=ALLREDUCE_PHASES,
     classify_op=classify_allreduce_op,
+    phase_kernels=ALLREDUCE_PHASE_KERNELS,
     differential_base=_differential_base,
     golden_configs=_golden_configs,
     differential_cases=_differential_cases,

@@ -2,13 +2,22 @@
 
 from __future__ import annotations
 
-__all__ = ["ALLREDUCE_PHASES", "classify_allreduce_op"]
+__all__ = ["ALLREDUCE_PHASES", "ALLREDUCE_PHASE_KERNELS",
+           "classify_allreduce_op"]
 
 #: Phase vocabulary for timeline/criticality analysis: the two halves of
 #: the collective (reduction rounds vs. distribution rounds), chunk
 #: staging copies, and the wire.
 ALLREDUCE_PHASES = ("init", "reduce-scatter", "allgather", "chunk", "nic",
                     "other")
+
+#: Inverse of :func:`classify_allreduce_op` for compute kernels
+#: (``AppSpec.phase_kernels``): op-name prefixes per compute phase.
+ALLREDUCE_PHASE_KERNELS = (
+    ("init", ("init",)),
+    ("reduce-scatter", ("rs.", "tr.")),
+    ("allgather", ("ag.", "tb.")),
+)
 
 
 def classify_allreduce_op(category: str, op_name: str) -> str:

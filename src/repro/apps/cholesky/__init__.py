@@ -19,7 +19,7 @@ from .config import CholeskyConfig, CholeskyResult
 from .context import CholeskyContext, CholeskyData
 from .mpi_app import make_cholesky_rank_class
 from .ops import generate_spd, reference_cholesky_tiles
-from .phases import CHOLESKY_PHASES, classify_cholesky_op
+from .phases import CHOLESKY_PHASES, CHOLESKY_PHASE_KERNELS, classify_cholesky_op
 
 __all__ = [
     "CHOLESKY_PHASES",
@@ -93,6 +93,7 @@ SPEC = register(AppSpec(
     make_ampi_rank_class=make_cholesky_ampi_rank_class,
     phases=CHOLESKY_PHASES,
     classify_op=classify_cholesky_op,
+    phase_kernels=CHOLESKY_PHASE_KERNELS,
     differential_base=_differential_base,
     golden_configs=_golden_configs,
     differential_cases=_differential_cases,

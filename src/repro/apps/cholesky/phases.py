@@ -9,9 +9,17 @@ updates), plus the usual transport phases.
 
 from __future__ import annotations
 
-__all__ = ["CHOLESKY_PHASES", "classify_cholesky_op"]
+__all__ = ["CHOLESKY_PHASES", "CHOLESKY_PHASE_KERNELS", "classify_cholesky_op"]
 
 CHOLESKY_PHASES = ("factor", "panel", "update", "d2h", "nic", "h2d", "other")
+
+#: Inverse of :func:`classify_cholesky_op` for compute kernels
+#: (``AppSpec.phase_kernels``): op-name prefixes per compute phase.
+CHOLESKY_PHASE_KERNELS = (
+    ("factor", ("potrf.",)),
+    ("panel", ("trsm.",)),
+    ("update", ("syrk.", "gemm.")),
+)
 
 
 def classify_cholesky_op(category: str, op_name: str) -> str:

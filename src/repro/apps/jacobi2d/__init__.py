@@ -11,6 +11,7 @@ from ...hardware.specs import MachineSpec
 from ..registry import AppSpec, register
 from ..stencil import (
     STENCIL_PHASES,
+    STENCIL_PHASE_KERNELS,
     StencilContext,
     StencilResult,
     classify_stencil_op,
@@ -68,6 +69,7 @@ SPEC = register(AppSpec(
     make_ampi_rank_class=make_ampi_rank_class,
     phases=STENCIL_PHASES,
     classify_op=classify_stencil_op,
+    phase_kernels=STENCIL_PHASE_KERNELS,
     differential_base=_differential_base,
     golden_configs=_golden_configs,
 ))

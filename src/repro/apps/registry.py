@@ -73,6 +73,14 @@ class AppSpec:
     #: (an allreduce sum depends on the contributor count), declare their
     #: own cases here.
     differential_cases: Optional[Callable] = None
+    #: ``((phase, (op-name prefix, ...)), ...)`` pairs mapping each
+    #: *compute* phase to the kernel-name prefixes that belong to it — the
+    #: inverse of ``classify_op`` restricted to ``gpu.compute``, declared
+    #: so the what-if engine (:mod:`repro.obs.whatif`) can turn "scale
+    #: phase X" into the equivalent :class:`~repro.hardware.specs.GpuSpec`
+    #: ``op_scales`` machine intervention.  Copy/network phases need no
+    #: entry (they map to the d2h/h2d/d2d/wire scale knobs instead).
+    phase_kernels: tuple = ()
 
     def __post_init__(self):
         if self.name != getattr(self.config_cls, "APP", None):

@@ -34,7 +34,7 @@ from .context import (
 )
 from .geometry import BlockGeometry, factor_triples, factor_tuples, partition_dims
 from .mpi_app import make_rank_class
-from .phases import STENCIL_PHASES, classify_stencil_op
+from .phases import STENCIL_PHASES, STENCIL_PHASE_KERNELS, classify_stencil_op
 from .rank_program import make_rank_program
 
 __all__ = [
@@ -52,6 +52,7 @@ __all__ = [
     "factor_tuples",
     "partition_dims",
     "STENCIL_PHASES",
+    "STENCIL_PHASE_KERNELS",
     "classify_stencil_op",
     "make_block_class",
     "make_rank_class",

@@ -10,12 +10,21 @@ regardless of dimensionality.
 
 from __future__ import annotations
 
-__all__ = ["STENCIL_PHASES", "classify_stencil_op"]
+__all__ = ["STENCIL_PHASES", "STENCIL_PHASE_KERNELS", "classify_stencil_op"]
 
 #: The per-iteration cost phases of a halo-exchange iteration, in pipeline
 #: order (paper Figs. 3-5): produce halos, stage them down, move them,
 #: stage them up, consume them, update.
 STENCIL_PHASES = ("pack", "d2h", "nic", "h2d", "unpack", "update", "other")
+
+#: Inverse of :func:`classify_stencil_op` for compute kernels: the op-name
+#: prefixes belonging to each compute phase (``AppSpec.phase_kernels``),
+#: so the what-if engine can target e.g. ``pack=0`` as a machine knob.
+STENCIL_PHASE_KERNELS = (
+    ("pack", ("pack",)),
+    ("unpack", ("unpack",)),
+    ("update", ("update", "interior", "exterior", "fused")),
+)
 
 
 def classify_stencil_op(category: str, op_name: str) -> str:

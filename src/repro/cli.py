@@ -202,6 +202,56 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="perf-report or bench_meta JSON")
     pcmp.add_argument("--tolerance", type=float, default=0.05, metavar="FRAC",
                       help="allowed slowdown fraction (default 0.05 = 5%%)")
+    pcmp.add_argument("--tolerance-for", action="append", default=[],
+                      dest="tolerance_for", metavar="METRIC=FRAC",
+                      help="per-metric tolerance override, e.g. "
+                           "engine.wall_s=0.25 (repeatable)")
+    pcmp.add_argument("--format", choices=["text", "json"], default="text",
+                      help="output format (default text; json is the stable "
+                           "repro.perf-compare/1 schema)")
+
+    pdiff = perf_sub.add_parser(
+        "diff", help="differential analysis: *why* two perf reports differ "
+                     "(exit 2 on schema-incompatible inputs)")
+    pdiff.add_argument("baseline", metavar="BASELINE.json",
+                       help="perf-report JSON (repro.perf/1)")
+    pdiff.add_argument("current", metavar="CURRENT.json",
+                       help="perf-report JSON (repro.perf/1)")
+    pdiff.add_argument("--format", choices=["text", "json"], default="text",
+                       help="output format (default text)")
+
+    ptrend = perf_sub.add_parser(
+        "trend", help="render the bench_meta.json wall-clock history as a "
+                      "static HTML dashboard")
+    ptrend.add_argument("--meta", metavar="PATH",
+                        default="results/bench_meta.json",
+                        help="bench-meta trajectory file "
+                             "(default results/bench_meta.json)")
+    ptrend.add_argument("--out", metavar="PATH", default="results/trend.html",
+                        help="output HTML path (default results/trend.html)")
+    ptrend.add_argument("--tolerance", type=float, default=0.05, metavar="FRAC",
+                        help="regression-annotation threshold vs the previous "
+                             "run (default 0.05 = 5%%)")
+
+    pwhat = perf_sub.add_parser(
+        "whatif", help="causal what-if projections from one recorded run "
+                       "(docs/observability.md)")
+    _add_app_flags(pwhat)
+    pwhat.add_argument("--intervene", action="append", default=[],
+                       metavar="SPEC",
+                       help="virtual intervention, e.g. net*0, h2d*0.5, "
+                            "pack=0 (repeatable)")
+    pwhat.add_argument("--check", action="store_true",
+                       help="validate each projection against an actual "
+                            "re-run on the modified machine")
+    pwhat.add_argument("--advise-odf", metavar="LIST", default=None,
+                       help="rank these ODFs from the one recorded run, "
+                            "e.g. 1,2,4,8")
+    pwhat.add_argument("--sweep", action="store_true",
+                       help="with --advise-odf: also run the true sweep and "
+                            "show both rankings")
+    pwhat.add_argument("--format", choices=["text", "json"], default="text",
+                       help="output format (default text)")
 
     pprof = perf_sub.add_parser(
         "profile",
@@ -491,11 +541,77 @@ def _cmd_perf(args) -> int:
     from .obs import Observatory, compare_perf
 
     if args.perf_command == "compare":
+        from .obs import SchemaMismatch, diff_reports
+
+        overrides = {}
+        for spec in args.tolerance_for:
+            metric, sep, frac = spec.partition("=")
+            try:
+                if not sep or not metric:
+                    raise ValueError(spec)
+                overrides[metric] = float(frac)
+                if overrides[metric] < 0:
+                    raise ValueError(spec)
+            except ValueError:
+                print(f"perf compare: bad --tolerance-for {spec!r} "
+                      f"(expected METRIC=FRAC with FRAC >= 0)",
+                      file=sys.stderr)
+                return 2
         baseline = json.loads(Path(args.baseline).read_text())
         current = json.loads(Path(args.current).read_text())
-        comparison = compare_perf(baseline, current, tolerance=args.tolerance)
-        print(comparison.render_text())
+        comparison = compare_perf(baseline, current, tolerance=args.tolerance,
+                                  overrides=overrides)
+        if not comparison.ok:
+            # Explain the trip: when both inputs are full perf reports the
+            # differential's critical-path decomposition names the culprit.
+            try:
+                comparison.blame = diff_reports(baseline, current).blame()
+            except SchemaMismatch:
+                pass  # bench_meta trajectories have no critical path
+        if args.format == "json":
+            print(json.dumps(comparison.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(comparison.render_text())
         return 0 if comparison.ok else 1
+
+    if args.perf_command == "diff":
+        from .obs import SchemaMismatch, diff_reports
+
+        try:
+            baseline = json.loads(Path(args.baseline).read_text())
+            current = json.loads(Path(args.current).read_text())
+        except (OSError, ValueError) as exc:
+            print(f"perf diff: cannot read inputs: {exc}", file=sys.stderr)
+            return 2
+        try:
+            diff = diff_reports(baseline, current)
+        except SchemaMismatch as exc:
+            print(f"perf diff: {exc}", file=sys.stderr)
+            return 2
+        if args.format == "json":
+            print(json.dumps(diff.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(diff.render_text())
+        return 0
+
+    if args.perf_command == "trend":
+        from datetime import datetime, timezone
+
+        from .obs import write_dashboard
+
+        try:
+            out = write_dashboard(
+                args.meta, args.out, tolerance=args.tolerance,
+                generated=datetime.now(timezone.utc).isoformat(
+                    timespec="seconds"))
+        except ValueError as exc:
+            print(f"perf trend: {exc}", file=sys.stderr)
+            return 2
+        print(f"trend dashboard written to {out}", file=sys.stderr)
+        return 0
+
+    if args.perf_command == "whatif":
+        return _perf_whatif(args)
 
     if args.perf_command == "profile":
         # Wall-clock profile of the simulator itself (not simulated time):
@@ -539,6 +655,90 @@ def _cmd_perf(args) -> int:
         path.write_text(json.dumps(obs.chrome_trace()))
         print(f"Perfetto trace written to {path} (load in ui.perfetto.dev)",
               file=sys.stderr)
+    return 0
+
+
+def _perf_whatif(args) -> int:
+    """``repro perf whatif``: record one run, project interventions and/or
+    rank ODFs without re-simulating; ``--check``/``--sweep`` hold every
+    projection against the actual re-run."""
+    import json
+
+    from .obs.whatif import (
+        DEFAULT_TOLERANCE,
+        Intervention,
+        advise_odf,
+        odf_sweep,
+        record_run,
+        validate_intervention,
+    )
+
+    try:
+        interventions = [Intervention.parse(s) for s in args.intervene]
+        odfs = ([int(b) for b in args.advise_odf.split(",") if b.strip()]
+                if args.advise_odf else [])
+    except ValueError as exc:
+        print(f"perf whatif: {exc}", file=sys.stderr)
+        return 2
+    if not interventions and not odfs:
+        print("perf whatif: nothing to project (use --intervene and/or "
+              "--advise-odf)", file=sys.stderr)
+        return 2
+
+    config = _app_config(args)
+    _, model = record_run(config)
+    doc = {"app": args.app, "version": args.version,
+           "recorded_makespan": model.makespan, "predictions": []}
+    lines = [f"what-if model: {args.app}/{args.version} recorded makespan "
+             f"{model.makespan * 1e3:.3f} ms"]
+
+    for iv in interventions:
+        try:
+            pred = model.predict(iv)
+        except ValueError as exc:
+            print(f"perf whatif: {exc}", file=sys.stderr)
+            return 2
+        entry = pred.to_dict()
+        if args.check:
+            val = validate_intervention(config, iv, model=model)
+            entry["actual"] = val.actual
+            entry["rel_error"] = val.rel_error
+            entry["within_tolerance"] = val.ok()
+            lines.append("  " + val.render_text()
+                         + ("" if val.ok() else
+                            f"  [outside {DEFAULT_TOLERANCE * 100:.0f}%]"))
+        else:
+            lines.append("  " + pred.render_text())
+        doc["predictions"].append(entry)
+
+    if odfs:
+        advice = advise_odf(model, odfs)
+        doc["odf_advice"] = [a.to_dict() for a in advice]
+        lines.append(f"  odf advisor (recorded at odf={config.odf}):")
+        for a in advice:
+            lines.append(f"    odf={a.odf:<3d} predicted "
+                         f"{a.predicted_s * 1e3:9.3f} ms")
+        lines.append(f"    advisor pick: odf={advice[0].odf}")
+        if args.sweep:
+            actual = odf_sweep(config, odfs)
+            doc["odf_sweep"] = {str(b): t for b, t in actual.items()}
+            best = min(actual, key=actual.get)
+            doc["odf_agreement"] = best == advice[0].odf
+            lines.append("  true sweep:")
+            for b in odfs:
+                lines.append(f"    odf={b:<3d} actual    "
+                             f"{actual[b] * 1e3:9.3f} ms")
+            lines.append(f"    sweep best:   odf={best} "
+                         f"({'agrees' if best == advice[0].odf else 'DISAGREES'}"
+                         f" with the advisor)")
+
+    if args.format == "json":
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print("\n".join(lines))
+    if args.check and any(not e.get("within_tolerance", True)
+                          for e in doc["predictions"]):
+        return 1
     return 0
 
 

@@ -15,6 +15,7 @@ from .runner import (
     PointOutcome,
     RunnerStats,
     default_worker,
+    perf_sidecar_reports,
     perf_validating_worker,
     perf_worker,
     validating_worker,
@@ -33,6 +34,7 @@ __all__ = [
     "PointOutcome",
     "RunnerStats",
     "default_worker",
+    "perf_sidecar_reports",
     "perf_validating_worker",
     "perf_worker",
     "validating_worker",

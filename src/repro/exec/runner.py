@@ -44,6 +44,7 @@ __all__ = [
     "validating_worker",
     "perf_worker",
     "perf_validating_worker",
+    "perf_sidecar_reports",
 ]
 
 
@@ -82,6 +83,26 @@ def perf_validating_worker(config_dict: dict):
 
     result, report = collect_perf(config_from_dict(config_dict), validate=True)
     return result, report.to_dict()
+
+
+def perf_sidecar_reports(perf_dir) -> dict[str, dict]:
+    """Every sidecar perf report in a sweep directory, keyed by config key.
+
+    Inverse of the runner's ``perf_dir=`` output (``<key>.perf.json`` per
+    point): this is how ``repro perf diff`` and :func:`repro.obs.diff.
+    diff_sidecar_dirs` line two sweeps up point by point.  Unreadable or
+    non-JSON files are skipped (a crashed worker must not take the whole
+    differential down)."""
+    out: dict[str, dict] = {}
+    root = Path(perf_dir)
+    for path in sorted(root.glob("*.perf.json")):
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue
+        if isinstance(doc, dict):
+            out[path.name[: -len(".perf.json")]] = doc
+    return out
 
 
 def _timed_call(worker, config_dict: dict):

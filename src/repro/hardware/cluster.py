@@ -39,6 +39,13 @@ class PE:
         self.name = f"pe{global_index}"
         self.core = Resource(engine, capacity=1, name=f"{self.name}.core")
         self.busy = IntervalTracker(engine, f"{self.name}.busy")
+        #: Captive-but-idle windows: the core is held by a blocking call
+        #: (e.g. MPI_Wait busy-polling) while the real work happens
+        #: elsewhere.  Kept separate from ``busy`` so profilers attribute
+        #: these windows to the activity that gates them (the GPU, the
+        #: wire) instead of to CPU work — the distinction the what-if
+        #: engine (repro.obs.whatif) relies on.
+        self.blocked = IntervalTracker(engine, f"{self.name}.blocked")
 
     def occupy(self, duration: float, priority: float = 0.0):
         """Generator fragment: hold the core for ``duration`` seconds.

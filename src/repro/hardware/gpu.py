@@ -284,6 +284,16 @@ class GpuDevice:
         }
         self.mem_allocated = 0
         self._streams: list[CudaStream] = []
+        # What-if duration scaling (specs.GpuSpec knobs), resolved once so
+        # the neutral default costs a single boolean test in _execute.
+        self._copy_scales = {
+            COPY_D2H: spec.d2h_scale,
+            COPY_H2D: spec.h2d_scale,
+            COPY_D2D: spec.d2d_scale,
+        }
+        self._op_scales = spec.op_scales
+        self._has_scaling = bool(spec.op_scales) or any(
+            s != 1.0 for s in self._copy_scales.values())
 
     # -- streams ---------------------------------------------------------------
     def create_stream(self, priority: int = 0, name: str = "") -> CudaStream:
@@ -325,6 +335,8 @@ class GpuDevice:
         else:
             overhead = op.work.device_overhead(self.spec)
         duration = overhead + op.work.duration(self.spec, self.link)
+        if self._has_scaling:
+            duration *= self._duration_scale(kind, op.name)
         token = self.trackers[kind].begin()
         if self.engine.tracer is not None:
             trace(
@@ -341,6 +353,17 @@ class GpuDevice:
         if self.engine.sanitizer is not None:
             self.engine.sanitizer.on_op_done(op)
         op.done.succeed()
+
+    def _duration_scale(self, kind: str, name: str) -> float:
+        """The what-if factor for one op (see ``GpuSpec.op_scales``)."""
+        if kind == COMPUTE:
+            if name.startswith("graph."):
+                name = name[len("graph."):]
+            for prefix, scale in self._op_scales:
+                if name.startswith(prefix):
+                    return scale
+            return 1.0
+        return self._copy_scales[kind]
 
     # -- introspection --------------------------------------------------------------
     def busy_seconds(self, kind: str = COMPUTE) -> float:

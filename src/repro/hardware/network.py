@@ -74,6 +74,9 @@ class Network:
         self._bw = nic.injection_bandwidth
         self._intra_bw = spec.node.intra_node_bandwidth
         self._intra_lat = spec.node.intra_node_latency_s
+        # What-if knob: dilates every in-flight window (serialization and
+        # delivery latency, NIC and intra-node alike).  1.0 is bit-neutral.
+        self._wire_scale = nic.wire_scale
         self.inject = [Resource(engine, name=f"n{i}.inject") for i in range(n_nodes)]
         self.eject = [Resource(engine, name=f"n{i}.eject") for i in range(n_nodes)]
         self.intra = [Resource(engine, name=f"n{i}.intra") for i in range(n_nodes)]
@@ -105,8 +108,8 @@ class Network:
         """Pure-wire transfer time with idle ports (for tests/analysis)."""
         a, b = self.node_of_pe(src_pe), self.node_of_pe(dst_pe)
         if a == b:
-            return self._intra_lat + size / self._intra_bw
-        return self.wire_latency(a, b) + size / self._bw
+            return (self._intra_lat + size / self._intra_bw) * self._wire_scale
+        return (self.wire_latency(a, b) + size / self._bw) * self._wire_scale
 
     def uncontended_times(self, src_pes, dst_pes, sizes):
         """Vectorized :meth:`uncontended_time` over equal-length batches;
@@ -121,8 +124,8 @@ class Network:
         if matrix is None:
             matrix = self._lat_matrix = self.tree.latency_matrix(
                 self.n_nodes, self.spec.node.nic)
-        wire = np.asarray(matrix)[src, dst] + size / self._bw
-        intra = self._intra_lat + size / self._intra_bw
+        wire = (np.asarray(matrix)[src, dst] + size / self._bw) * self._wire_scale
+        intra = (self._intra_lat + size / self._intra_bw) * self._wire_scale
         return np.where(src == dst, intra, wire)
 
     # -- transfer ------------------------------------------------------------
@@ -153,18 +156,18 @@ class Network:
         if src_node == dst_node:
             hold = self.intra[src_node].request(priority=message.priority)
             yield hold
-            yield message.size * message.wire_time_scale / self._intra_bw
+            yield message.size * message.wire_time_scale / self._intra_bw * self._wire_scale
             self.intra[src_node].release(hold)
-            yield self._intra_lat
+            yield self._intra_lat * self._wire_scale
         else:
             inj = self.inject[src_node].request(priority=message.priority)
             yield inj
             ej = self.eject[dst_node].request(priority=message.priority)
             yield ej
-            yield message.size * message.wire_time_scale / self._bw
+            yield message.size * message.wire_time_scale / self._bw * self._wire_scale
             self.inject[src_node].release(inj)
             self.eject[dst_node].release(ej)
-            yield self.wire_latency(src_node, dst_node)
+            yield self.wire_latency(src_node, dst_node) * self._wire_scale
         message.delivered_at = eng.now
         self.messages_delivered += 1
         if self.monitor is not None:

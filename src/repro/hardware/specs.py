@@ -66,6 +66,29 @@ class GpuSpec:
     graph_node_device_s: float = 0.6 * US
     copy_engine_count: int = 1
     max_concurrent_kernels: int = 1
+    # -- what-if intervention knobs (docs/observability.md, obs/whatif.py) --
+    # Each multiplies the *full* device-side duration (launch gap + work) of
+    # the matching operations, so a trace-level projection that scales the
+    # recorded interval has an exact machine-level counterpart.
+    # ``op_scales``: ((op-name prefix, factor), ...) for compute kernels —
+    # first match wins after stripping any "graph." prefix; "" matches all.
+    op_scales: tuple = ()
+    d2h_scale: float = 1.0
+    h2d_scale: float = 1.0
+    d2d_scale: float = 1.0
+
+    def __post_init__(self):
+        # Normalize after JSON round-trips (lists of lists -> tuple pairs)
+        # so spec equality and the content-addressed cache key are stable.
+        object.__setattr__(
+            self, "op_scales",
+            tuple((str(p), float(s)) for p, s in self.op_scales))
+        for pair in self.op_scales:
+            if pair[1] < 0:
+                raise ValueError(f"op_scales factor must be >= 0, got {pair[1]}")
+        for attr in ("d2h_scale", "h2d_scale", "d2d_scale"):
+            if getattr(self, attr) < 0:
+                raise ValueError(f"{attr} must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -92,6 +115,16 @@ class NicSpec:
     base_latency_s: float = 1.2 * US
     per_hop_latency_s: float = 0.35 * US
     rendezvous_rtt_s: float = 2.4 * US  # RTS/CTS handshake for rendezvous
+    # What-if intervention knob (obs/whatif.py): multiplies the in-flight
+    # window of every transfer — wire serialization *and* delivery latency,
+    # on both the NIC and the intra-node transport — without touching the
+    # per-message CPU overheads or the rendezvous handshake (those are
+    # charged to PEs / appear as dependency waits, not network time).
+    wire_scale: float = 1.0
+
+    def __post_init__(self):
+        if self.wire_scale < 0:
+            raise ValueError("wire_scale must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -199,7 +232,12 @@ class MachineSpec:
         field.  Used for worker dispatch and as part of the content-addressed
         result-cache key, so it must cover *all* calibration constants: any
         field change must change the dict."""
-        return asdict(self)
+        d = asdict(self)
+        # JSON has no tuples: normalize op_scales to lists so to_dict() output
+        # equals its own JSON round-trip (golden entries compare by ==).
+        gpu = d["node"]["gpu"]
+        gpu["op_scales"] = [list(pair) for pair in gpu["op_scales"]]
+        return d
 
     @classmethod
     def from_dict(cls, d: dict) -> "MachineSpec":

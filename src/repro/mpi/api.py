@@ -218,10 +218,12 @@ class MpiWorld:
                 pe.busy.end(token)
 
         def blocking_wait(event):
-            # MPI blocks with the CPU captive (polling).
-            token = pe.busy.begin()
+            # MPI blocks with the CPU captive (polling) — tracked as
+            # ``blocked``, not ``busy``: the core does no work, it waits on
+            # activity recorded elsewhere (GPU engines, the wire).
+            token = pe.blocked.begin()
             yield event
-            pe.busy.end(token)
+            pe.blocked.end(token)
 
         while True:
             try:

@@ -7,8 +7,10 @@ The package layers on the simulator's monitor hooks and
 """
 
 from .critpath import WAIT, CriticalPath, PathSegment, collect_segments, critical_path
+from .diff import DeltaEntry, DiffReport, SchemaMismatch, diff_reports, diff_sidecar_dirs
 from .metrics import (
     MAX_SERIES,
+    OVERFLOW_METRIC,
     SIZE_BUCKETS,
     Counter,
     Gauge,
@@ -17,6 +19,7 @@ from .metrics import (
     size_bucket,
 )
 from .report import (
+    COMPARE_SCHEMA,
     Comparison,
     Observatory,
     PerfReport,
@@ -25,6 +28,29 @@ from .report import (
     collect_perf,
     compare_perf,
     extract_comparable,
+)
+from .trend import (
+    TREND_SCHEMA,
+    TrendPoint,
+    TrendSeries,
+    load_bench_meta,
+    render_dashboard,
+    trend_series,
+    write_dashboard,
+)
+from .whatif import (
+    DEFAULT_TOLERANCE,
+    Intervention,
+    OdfAdvice,
+    WhatIfModel,
+    WhatIfPrediction,
+    WhatIfValidation,
+    advise_odf,
+    apply_to_machine,
+    odf_sweep,
+    record_run,
+    resolve_targets,
+    validate_intervention,
 )
 from .timeline import (
     ResourceUsage,
@@ -48,34 +74,60 @@ def __getattr__(name: str):
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
+    "COMPARE_SCHEMA",
+    "DEFAULT_TOLERANCE",
     "MAX_SERIES",
+    "OVERFLOW_METRIC",
     "PHASES",
     "SIZE_BUCKETS",
     "WAIT",
     "Comparison",
     "Counter",
     "CriticalPath",
+    "DeltaEntry",
+    "DiffReport",
     "Gauge",
     "Histogram",
+    "Intervention",
     "MetricsRegistry",
     "Observatory",
+    "OdfAdvice",
     "PathSegment",
     "PerfReport",
     "Regression",
     "ResourceUsage",
+    "SchemaMismatch",
+    "TREND_SCHEMA",
+    "TrendPoint",
+    "TrendSeries",
+    "WhatIfModel",
+    "WhatIfPrediction",
+    "WhatIfValidation",
+    "advise_odf",
     "append_bench_history",
+    "apply_to_machine",
     "classify_op",
     "collect_perf",
     "collect_segments",
     "compare_perf",
     "compute_comm_overlap",
     "critical_path",
+    "diff_reports",
+    "diff_sidecar_dirs",
     "extract_comparable",
     "gpu_compute_spans",
     "iteration_boundaries",
+    "load_bench_meta",
+    "odf_sweep",
     "per_iteration_phases",
     "phase_breakdown",
     "phase_intervals",
+    "record_run",
+    "render_dashboard",
+    "resolve_targets",
     "resource_usage",
     "size_bucket",
+    "trend_series",
+    "validate_intervention",
+    "write_dashboard",
 ]

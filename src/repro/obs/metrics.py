@@ -24,11 +24,13 @@ label sets were folded.
 
 from __future__ import annotations
 
+import warnings
 from bisect import bisect_left
 from typing import Any, Iterable, Optional
 
 __all__ = [
     "MAX_SERIES",
+    "OVERFLOW_METRIC",
     "SIZE_BUCKETS",
     "Counter",
     "Gauge",
@@ -39,6 +41,12 @@ __all__ = [
 
 #: Per-metric cap on distinct label sets (series).
 MAX_SERIES = 1024
+
+#: Synthetic counter name under which the registry exposes how many label
+#: sets each metric folded into its ``(overflow)`` series — present in
+#: ``snapshot()`` / ``scalar_totals()`` only when folding happened, so a
+#: cardinality bug is visible in the perf report instead of silent.
+OVERFLOW_METRIC = "repro_metrics_overflow_total"
 
 #: Power-of-4 byte buckets for message-size histograms: "64", "256", ...,
 #: "(2^30)+" — coarse enough to stay readable, fine enough to separate the
@@ -71,6 +79,7 @@ class _Metric:
         self.max_series = max_series
         self.series: dict[tuple, Any] = {}
         self.dropped_series = 0
+        self._overflow_warned = False
 
     def _cell_key(self, labels: dict) -> tuple:
         # Unlabelled series (the engine's per-event counters) skip the
@@ -79,6 +88,15 @@ class _Metric:
         key = _label_key(labels) if labels else ()
         if key not in self.series and len(self.series) >= self.max_series:
             self.dropped_series += 1
+            if not self._overflow_warned:
+                # Warn once per metric: the first fold is the signal (an
+                # unbounded label leaked in); repeating it per sample
+                # would bury the run's output.
+                self._overflow_warned = True
+                warnings.warn(
+                    f"metric {self.name!r} exceeded {self.max_series} label "
+                    f"sets; folding further series into (overflow) — see "
+                    f"{OVERFLOW_METRIC}", RuntimeWarning, stacklevel=4)
             return _OVERFLOW_KEY
         return key
 
@@ -270,18 +288,39 @@ class MetricsRegistry:
     def names(self) -> list[str]:
         return sorted(self._metrics)
 
+    def overflow_total(self) -> int:
+        """Label sets folded into ``(overflow)`` across every metric."""
+        return sum(m.dropped_series for m in self._metrics.values())
+
     def snapshot(self) -> dict:
-        """JSON-ready dump of every metric (stable ordering)."""
-        return {name: self._metrics[name].snapshot() for name in self.names()}
+        """JSON-ready dump of every metric (stable ordering), plus the
+        synthetic :data:`OVERFLOW_METRIC` counter when any metric folded."""
+        out = {name: self._metrics[name].snapshot() for name in self.names()}
+        if self.overflow_total():
+            out[OVERFLOW_METRIC] = {
+                "kind": "counter",
+                "help": "label sets folded into (overflow), per metric",
+                "series": [
+                    {"labels": {"metric": name}, "value": metric.dropped_series}
+                    for name, metric in sorted(self._metrics.items())
+                    if metric.dropped_series
+                ],
+            }
+        return out
 
     def scalar_totals(self) -> dict[str, float]:
         """Counter totals across labels — the compact summary used by
-        :class:`~repro.obs.report.PerfReport`."""
-        return {
+        :class:`~repro.obs.report.PerfReport`.  Includes
+        :data:`OVERFLOW_METRIC` when any metric hit its cardinality cap."""
+        out = {
             name: metric.total()
             for name, metric in sorted(self._metrics.items())
             if isinstance(metric, Counter)
         }
+        overflow = self.overflow_total()
+        if overflow:
+            out[OVERFLOW_METRIC] = float(overflow)
+        return out
 
     def render_text(self) -> str:
         lines = []

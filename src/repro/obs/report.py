@@ -28,6 +28,7 @@ from .metrics import MetricsRegistry
 from .timeline import per_iteration_phases, phase_breakdown, resource_usage
 
 __all__ = [
+    "COMPARE_SCHEMA",
     "Observatory",
     "PerfReport",
     "Comparison",
@@ -325,6 +326,11 @@ class Regression:
                 f"({(self.ratio - 1.0) * 100:+.1f}%)")
 
 
+#: ``repro perf compare --format json`` schema identifier (pinned in tests;
+#: bump the suffix on any breaking change to :meth:`Comparison.to_dict`).
+COMPARE_SCHEMA = "repro.perf-compare/1"
+
+
 @dataclass
 class Comparison:
     """Outcome of one baseline/current comparison."""
@@ -333,6 +339,11 @@ class Comparison:
     regressions: list[Regression] = field(default_factory=list)
     improvements: list[Regression] = field(default_factory=list)
     unchanged: int = 0
+    #: Per-metric tolerance overrides that were in effect (metric → frac).
+    overrides: dict = field(default_factory=dict)
+    #: Critical-path blame line from the differential (set when both inputs
+    #: are full perf reports and the gate tripped) — explains *why*.
+    blame: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -343,11 +354,35 @@ class Comparison:
                  f"{len(self.regressions)} regression(s), "
                  f"{len(self.improvements)} improvement(s), "
                  f"{self.unchanged} within tolerance"]
+        for metric, tol in sorted(self.overrides.items()):
+            lines.append(f"  (tolerance override: {metric} at {tol * 100:.1f}%)")
         for reg in self.regressions:
             lines.append(f"  REGRESSION {reg}")
         for imp in self.improvements:
             lines.append(f"  improved   {imp}")
+        if self.blame:
+            lines.append(f"  blame: {self.blame}")
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """Stable JSON shape for ``repro perf compare --format json``."""
+        def rows(entries):
+            return [
+                {"metric": r.metric, "baseline": r.baseline,
+                 "current": r.current, "ratio": r.ratio}
+                for r in entries
+            ]
+
+        return {
+            "schema": COMPARE_SCHEMA,
+            "ok": self.ok,
+            "tolerance": self.tolerance,
+            "overrides": dict(sorted(self.overrides.items())),
+            "regressions": rows(self.regressions),
+            "improvements": rows(self.improvements),
+            "unchanged": self.unchanged,
+            "blame": self.blame,
+        }
 
 
 def extract_comparable(doc: dict) -> dict[str, float]:
@@ -388,20 +423,29 @@ def extract_comparable(doc: dict) -> dict[str, float]:
     return out
 
 
-def compare_perf(baseline: dict, current: dict, tolerance: float = 0.05) -> Comparison:
+def compare_perf(baseline: dict, current: dict, tolerance: float = 0.05,
+                 overrides: Optional[dict] = None) -> Comparison:
     """Compare two perf-gate documents; a metric regresses when
-    ``current > baseline * (1 + tolerance)`` (and improves symmetrically).
-    Only metrics present in *both* documents are compared."""
+    ``current > baseline * (1 + tol)`` (and improves symmetrically), where
+    ``tol`` is the metric's entry in ``overrides`` when present, else
+    ``tolerance``.  Only metrics present in *both* documents are compared.
+    Overrides for metrics absent from the inputs are allowed (baselines
+    vary across apps) but still validated to be >= 0."""
     if tolerance < 0:
         raise ValueError("tolerance must be >= 0")
+    overrides = {str(k): float(v) for k, v in (overrides or {}).items()}
+    for metric, tol in overrides.items():
+        if tol < 0:
+            raise ValueError(f"tolerance override for {metric} must be >= 0")
     base = extract_comparable(baseline)
     curr = extract_comparable(current)
-    comparison = Comparison(tolerance=tolerance)
+    comparison = Comparison(tolerance=tolerance, overrides=overrides)
     for metric in sorted(set(base) & set(curr)):
         b, c = base[metric], curr[metric]
-        if c > b * (1.0 + tolerance) and c - b > 1e-12:
+        tol = overrides.get(metric, tolerance)
+        if c > b * (1.0 + tol) and c - b > 1e-12:
             comparison.regressions.append(Regression(metric, b, c))
-        elif c < b * (1.0 - tolerance):
+        elif c < b * (1.0 - tol):
             comparison.improvements.append(Regression(metric, b, c))
         else:
             comparison.unchanged += 1

@@ -1,0 +1,613 @@
+"""Perf-trend dashboard: ``results/bench_meta.json`` → static HTML.
+
+:func:`~repro.obs.report.append_bench_history` records every benchmark run
+as a timestamped trajectory; this module renders those trajectories as a
+self-contained HTML page (inline SVG, inline CSS/JS, zero external
+dependencies) so CI can publish "is the harness getting slower?" as an
+artifact.  ``repro perf trend`` is the CLI entry point.
+
+Per bench-meta key the dashboard shows one card with:
+
+* a line chart per **unit group** — figure wall-clock (``wall_s``) and the
+  engine microbenchmark's per-mix event cost (``us_per_event.<mix>``) are
+  different units, so they never share an axis;
+* **regression annotations** — a point slower than its predecessor by more
+  than the tolerance (the same ``current > previous * (1 + tol)`` rule as
+  the ``repro perf compare`` gate) is flagged with a marker, named in the
+  tooltip, and called out in the table view;
+* **per-PR markers** — when consecutive entries carry different ``commit``
+  stamps (see ``benchmarks/conftest.py``), a vertical rule marks the
+  boundary so a step change can be pinned to the PR that caused it;
+* a **table view** — every charted value reachable without hovering.
+
+The analysis half (:func:`trend_series`) is pure data-in/data-out so tests
+can pin the regression/PR-marker logic without parsing HTML.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+__all__ = [
+    "DEFAULT_TREND_TOLERANCE",
+    "TREND_SCHEMA",
+    "TrendPoint",
+    "TrendSeries",
+    "load_bench_meta",
+    "render_dashboard",
+    "trend_series",
+    "write_dashboard",
+]
+
+#: Schema tag embedded in the generated page (``<meta name="generator">``).
+TREND_SCHEMA = "repro.trend/1"
+
+#: Default regression threshold for trend annotations — the same default
+#: slowdown fraction as the ``repro perf compare`` gate.
+DEFAULT_TREND_TOLERANCE = 0.05
+
+#: Metric suffix → axis unit label.  ``wall_s`` is the runner's wall-clock
+#: per figure; ``us_per_event.*`` is the engine microbenchmark's cost.
+_UNITS = {"wall_s": "s", "us_per_event": "µs/event"}
+
+
+@dataclass(frozen=True)
+class TrendPoint:
+    """One history entry's value for one metric."""
+
+    at: str  #: ISO timestamp (``""`` for legacy entries without one)
+    value: float
+    commit: Optional[str] = None  #: short git rev, when stamped
+    regressed: bool = False  #: slower than the previous point beyond tolerance
+    pr_boundary: bool = False  #: first entry of a new commit stamp
+
+
+@dataclass(frozen=True)
+class TrendSeries:
+    """One metric's trajectory under one bench-meta key."""
+
+    key: str  #: bench-meta slot ("engine", "fig6a", ...)
+    metric: str  #: "wall_s" or "us_per_event.<mix>"
+    points: tuple
+
+    @property
+    def unit(self) -> str:
+        return _UNITS.get(self.metric.split(".")[0], "")
+
+    @property
+    def group(self) -> str:
+        """Unit group — series in the same group share one chart/axis."""
+        return self.metric.split(".")[0]
+
+    @property
+    def label(self) -> str:
+        """Short in-chart name: the mix for per-mix series, else the metric."""
+        return self.metric.split(".", 1)[1] if "." in self.metric else self.metric
+
+    @property
+    def latest(self) -> Optional[TrendPoint]:
+        return self.points[-1] if self.points else None
+
+
+# ---------------------------------------------------------------------------
+# Analysis (pure)
+# ---------------------------------------------------------------------------
+
+
+def load_bench_meta(path) -> dict:
+    """Parse a ``bench_meta.json`` file; raises ``ValueError`` when the file
+    is missing or not a JSON object (``repro perf trend`` maps that to exit
+    code 2 — bad input, not a regression)."""
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text())
+    except OSError as exc:
+        raise ValueError(f"cannot read bench meta {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise ValueError(f"{path}: bench meta must be a JSON object")
+    return doc
+
+
+def _entry_metrics(entry: dict) -> dict[str, float]:
+    """Time-like scalars of one history entry — the per-entry analogue of
+    :func:`repro.obs.report.extract_comparable`'s bench-meta branch."""
+    out: dict[str, float] = {}
+    wall = entry.get("wall_s")
+    if isinstance(wall, (int, float)):
+        out["wall_s"] = float(wall)
+    upe = entry.get("us_per_event")
+    if isinstance(upe, dict):
+        for mix, cost in sorted(upe.items()):
+            if isinstance(cost, (int, float)):
+                out[f"us_per_event.{mix}"] = float(cost)
+    return out
+
+
+def _histories(meta: dict) -> dict[str, list[dict]]:
+    """Normalized oldest→newest history per key (legacy flat entries become
+    a one-item history, matching ``append_bench_history``'s migration)."""
+    out: dict[str, list[dict]] = {}
+    for key, slot in meta.items():
+        if not isinstance(slot, dict):
+            continue
+        if isinstance(slot.get("history"), list):
+            history = [e for e in slot["history"] if isinstance(e, dict)]
+        else:
+            history = [slot]
+        if history:
+            out[key] = history
+    return out
+
+
+def trend_series(meta: dict,
+                 tolerance: float = DEFAULT_TREND_TOLERANCE) -> list[TrendSeries]:
+    """Flatten a bench-meta document into per-(key, metric) trajectories
+    with regression and PR-boundary flags attached.
+
+    A point regresses when it is slower than its immediate predecessor by
+    more than ``tolerance`` (lower is better for every charted metric); a
+    point is a PR boundary when its ``commit`` stamp differs from the
+    previous entry's.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be >= 0")
+    series: list[TrendSeries] = []
+    for key, history in sorted(_histories(meta).items()):
+        metrics: dict[str, list[TrendPoint]] = {}
+        prev_commit = None
+        for i, entry in enumerate(history):
+            commit = entry.get("commit")
+            commit = str(commit) if commit is not None else None
+            boundary = i > 0 and commit is not None and commit != prev_commit
+            if commit is not None:
+                prev_commit = commit
+            for metric, value in _entry_metrics(entry).items():
+                points = metrics.setdefault(metric, [])
+                prev = points[-1].value if points else None
+                regressed = (prev is not None and prev > 0
+                             and value > prev * (1.0 + tolerance)
+                             and value - prev > 1e-12)
+                points.append(TrendPoint(
+                    at=str(entry.get("at", "")), value=value, commit=commit,
+                    regressed=regressed, pr_boundary=boundary))
+        for metric in sorted(metrics):
+            series.append(TrendSeries(key=key, metric=metric,
+                                      points=tuple(metrics[metric])))
+    return series
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+# Chart geometry (SVG user units == CSS px at width 100%).
+_W, _H = 640, 230
+_ML, _MR, _MT, _MB = 52, 16, 18, 30
+
+
+def _fmt(value: float) -> str:
+    """Three significant digits, no exponent noise for the common ranges."""
+    if value == 0:
+        return "0"
+    if 0.001 <= abs(value) < 10000:
+        digits = max(0, 3 - 1 - math.floor(math.log10(abs(value))))
+        return f"{value:.{digits}f}"
+    return f"{value:.3g}"
+
+
+def _nice_step(span: float, divisions: int = 4) -> float:
+    """A clean tick step (1/2/2.5/5 × 10^k) covering span/divisions."""
+    raw = span / divisions if span > 0 else 1.0
+    exp = math.floor(math.log10(raw))
+    for mult in (1.0, 2.0, 2.5, 5.0, 10.0):
+        step = mult * 10.0 ** exp
+        if step >= raw - 1e-12:
+            return step
+    return 10.0 ** (exp + 1)
+
+
+def _short_time(at: str) -> str:
+    """``2026-08-08T00:15:50+00:00`` → ``08-08 00:15`` (axis-tick sized)."""
+    if len(at) >= 16 and at[4] == "-":
+        return at[5:16].replace("T", " ")
+    return at[:16]
+
+
+def _esc(text) -> str:
+    return _html.escape(str(text), quote=True)
+
+
+def _chart_svg(group: list[TrendSeries], chart_id: str) -> str:
+    """One unit-group chart: 2px lines, ≥8px ring-backed markers, hairline
+    grid, PR-boundary rules, regression markers, sparse direct labels."""
+    n = max(len(s.points) for s in group)
+    vmax = max((p.value for s in group for p in s.points), default=1.0)
+    step = _nice_step(vmax * 1.05 if vmax > 0 else 1.0)
+    top = step * max(1, math.ceil((vmax * 1.05 if vmax > 0 else 1.0) / step))
+    plot_w, plot_h = _W - _ML - _MR, _H - _MT - _MB
+
+    def x_of(i: int) -> float:
+        return _ML + (plot_w / 2 if n == 1 else plot_w * i / (n - 1))
+
+    def y_of(v: float) -> float:
+        return _MT + plot_h * (1.0 - v / top)
+
+    out = [f'<svg viewBox="0 0 {_W} {_H}" role="img" '
+           f'aria-labelledby="{chart_id}-t" preserveAspectRatio="none">',
+           f'<title id="{chart_id}-t">trend chart</title>']
+    # Hairline grid + y ticks (solid, recessive; ticks carry the values).
+    v = 0.0
+    while v <= top + 1e-12:
+        y = y_of(v)
+        out.append(f'<line x1="{_ML}" y1="{y:.1f}" x2="{_W - _MR}" y2="{y:.1f}" '
+                   f'stroke="var(--grid)" stroke-width="1"/>')
+        out.append(f'<text x="{_ML - 6}" y="{y + 3:.1f}" text-anchor="end" '
+                   f'class="tick">{_fmt(v)}</text>')
+        v += step
+    # Baseline.
+    out.append(f'<line x1="{_ML}" y1="{_MT + plot_h}" x2="{_W - _MR}" '
+               f'y2="{_MT + plot_h}" stroke="var(--axis)" stroke-width="1"/>')
+    # Per-PR boundary rules (from any series; they share the history).
+    ref = max(group, key=lambda s: len(s.points))
+    boundaries = [i for i, p in enumerate(ref.points) if p.pr_boundary]
+    for i in boundaries:
+        x = x_of(i)
+        out.append(f'<line x1="{x:.1f}" y1="{_MT}" x2="{x:.1f}" '
+                   f'y2="{_MT + plot_h}" stroke="var(--axis)" stroke-width="1"/>')
+        if len(boundaries) <= 6 and ref.points[i].commit:
+            out.append(f'<text x="{x + 3:.1f}" y="{_MT + 9}" class="tick">'
+                       f'{_esc(ref.points[i].commit)}</text>')
+    # X tick labels: first and last timestamp (sparse by design).
+    labels = [(0, ref.points[0].at)] + ([(n - 1, ref.points[-1].at)] if n > 1 else [])
+    for i, at in labels:
+        if not at:
+            continue
+        anchor = "start" if i == 0 else "end"
+        out.append(f'<text x="{x_of(i):.1f}" y="{_H - 10}" '
+                   f'text-anchor="{anchor}" class="tick">{_short_time(at)}</text>')
+    # Series: 2px round lines, r=4 markers with a 2px surface ring.
+    end_labels: list[tuple[float, str, float]] = []
+    for idx, s in enumerate(group):
+        slot = idx % 8 + 1
+        pts = [(x_of(i), y_of(p.value)) for i, p in enumerate(s.points)]
+        if len(pts) > 1:
+            path = " ".join(f"{x:.1f},{y:.1f}" for x, y in pts)
+            out.append(f'<polyline points="{path}" fill="none" '
+                       f'stroke="var(--s{slot})" stroke-width="2" '
+                       f'stroke-linejoin="round" stroke-linecap="round"/>')
+        for (x, y), p in zip(pts, s.points):
+            if p.regressed:
+                # Regression marker: triangle in the reserved critical
+                # color, ring-backed; never color-alone (tooltip + table
+                # name it).
+                out.append(
+                    f'<path d="M {x:.1f} {y - 6:.1f} L {x + 5.5:.1f} {y + 4:.1f} '
+                    f'L {x - 5.5:.1f} {y + 4:.1f} Z" fill="var(--critical)" '
+                    f'stroke="var(--surface)" stroke-width="2"/>')
+            else:
+                out.append(f'<circle cx="{x:.1f}" cy="{y:.1f}" r="4" '
+                           f'fill="var(--s{slot})" stroke="var(--surface)" '
+                           f'stroke-width="2"/>')
+        end_labels.append((pts[-1][1], _fmt(s.points[-1].value), pts[-1][0]))
+    # Direct end labels, only when they don't collide (legend + tooltip
+    # carry identity otherwise).
+    ys = sorted(y for y, _, _ in end_labels)
+    if all(b - a >= 12 for a, b in zip(ys, ys[1:])):
+        for y, text, x in end_labels:
+            out.append(f'<text x="{min(x + 8, _W - 2):.1f}" y="{y + 3:.1f}" '
+                       f'class="endlabel">{text}</text>')
+    out.append('<line class="xhair" y1="%d" y2="%d" stroke="var(--axis)" '
+               'stroke-width="1" visibility="hidden"/>' % (_MT, _MT + plot_h))
+    out.append("</svg>")
+    return "".join(out)
+
+
+def _chart_payload(group: list[TrendSeries]) -> dict:
+    """The hover layer's data: x positions + per-series formatted values."""
+    ref = max(group, key=lambda s: len(s.points))
+    n = len(ref.points)
+    plot_w = _W - _ML - _MR
+
+    def x_of(i: int) -> float:
+        return _ML + (plot_w / 2 if n == 1 else plot_w * i / (n - 1))
+
+    return {
+        "w": _W,
+        "xs": [round(x_of(i), 1) for i in range(n)],
+        "at": [_short_time(p.at) or f"run {i + 1}"
+               for i, p in enumerate(ref.points)],
+        "commit": [p.commit or "" for p in ref.points],
+        "series": [
+            {
+                "name": s.label,
+                "slot": idx % 8 + 1,
+                "values": [_fmt(p.value) + (f" {s.unit}" if s.unit else "")
+                           for p in s.points],
+                "reg": [bool(p.regressed) for p in s.points],
+            }
+            for idx, s in enumerate(group)
+        ],
+    }
+
+
+def _headline(group: list[TrendSeries]) -> str:
+    """Latest value + signed delta vs previous (direction × lower-is-better
+    picks the color; the arrow + wording keep it non-color-alone)."""
+    s = max(group, key=lambda g: len(g.points))
+    latest = s.latest
+    unit = f" {s.unit}" if s.unit else ""
+    bits = [f'<span class="stat">{_fmt(latest.value)}{unit}</span>']
+    if len(s.points) > 1 and s.points[-2].value > 0:
+        pct = 100.0 * (latest.value / s.points[-2].value - 1.0)
+        if latest.regressed:
+            bits.append(f'<span class="delta bad">▲ {pct:+.1f}% vs '
+                        f'previous (regression)</span>')
+        elif pct < 0:
+            bits.append(f'<span class="delta good">▼ {pct:+.1f}% vs '
+                        f'previous</span>')
+        else:
+            bits.append(f'<span class="delta">{pct:+.1f}% vs previous</span>')
+    return " ".join(bits)
+
+
+def _legend(group: list[TrendSeries]) -> str:
+    """Line-key legend; present whenever a chart has two or more series."""
+    if len(group) < 2:
+        return ""
+    rows = "".join(
+        f'<span class="key"><span class="swatch" '
+        f'style="background:var(--s{idx % 8 + 1})"></span>{_esc(s.label)}</span>'
+        for idx, s in enumerate(group))
+    return f'<div class="legend">{rows}</div>'
+
+
+def _table(key: str, groups: dict[str, list[TrendSeries]]) -> str:
+    """The WCAG-clean twin: every charted value, no hover required."""
+    all_series = [s for group in groups.values() for s in group]
+    ref = max(all_series, key=lambda s: len(s.points))
+    heads = "".join(
+        f"<th>{_esc(s.metric)}{f' ({s.unit})' if s.unit else ''}</th>"
+        for s in all_series)
+    rows = []
+    for i, rp in enumerate(ref.points):
+        cells = [f"<td>{_esc(_short_time(rp.at) or i + 1)}</td>",
+                 f"<td>{_esc(rp.commit or '—')}</td>"]
+        for s in all_series:
+            if i < len(s.points):
+                p = s.points[i]
+                flag = (' <span class="delta bad">▲ regression</span>'
+                        if p.regressed else "")
+                cells.append(f"<td>{_fmt(p.value)}{flag}</td>")
+            else:
+                cells.append("<td>—</td>")
+        rows.append(f"<tr>{''.join(cells)}</tr>")
+    return (f'<details><summary>table view ({len(ref.points)} runs)</summary>'
+            f'<table><thead><tr><th>run</th><th>commit</th>{heads}</tr></thead>'
+            f'<tbody>{"".join(rows)}</tbody></table></details>')
+
+
+_CSS = """
+:root { color-scheme: light;
+  --page:#f9f9f7; --surface:#fcfcfb; --ink:#0b0b0b; --ink2:#52514e;
+  --muted:#898781; --grid:#e1e0d9; --axis:#c3c2b7;
+  --border:rgba(11,11,11,0.10); --critical:#d03b3b; --goodtext:#006300;
+  --s1:#2a78d6; --s2:#eb6834; --s3:#1baf7a; --s4:#eda100;
+  --s5:#e87ba4; --s6:#008300; --s7:#4a3aa7; --s8:#e34948; }
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) { color-scheme: dark;
+    --page:#0d0d0d; --surface:#1a1a19; --ink:#ffffff; --ink2:#c3c2b7;
+    --muted:#898781; --grid:#2c2c2a; --axis:#383835;
+    --border:rgba(255,255,255,0.10); --critical:#d03b3b; --goodtext:#0ca30c;
+    --s1:#3987e5; --s2:#d95926; --s3:#199e70; --s4:#c98500;
+    --s5:#d55181; --s6:#008300; --s7:#9085e9; --s8:#e66767; } }
+:root[data-theme="dark"] { color-scheme: dark;
+  --page:#0d0d0d; --surface:#1a1a19; --ink:#ffffff; --ink2:#c3c2b7;
+  --muted:#898781; --grid:#2c2c2a; --axis:#383835;
+  --border:rgba(255,255,255,0.10); --critical:#d03b3b; --goodtext:#0ca30c;
+  --s1:#3987e5; --s2:#d95926; --s3:#199e70; --s4:#c98500;
+  --s5:#d55181; --s6:#008300; --s7:#9085e9; --s8:#e66767; }
+* { box-sizing: border-box; }
+body { margin:0; padding:24px; background:var(--page); color:var(--ink);
+  font:14px/1.45 system-ui,-apple-system,"Segoe UI",sans-serif; }
+header { display:flex; align-items:baseline; gap:12px; margin-bottom:8px; }
+h1 { font-size:20px; margin:0; }
+.sub { color:var(--ink2); font-size:13px; }
+#theme { margin-left:auto; border:1px solid var(--border); border-radius:6px;
+  background:var(--surface); color:var(--ink2); padding:4px 10px; cursor:pointer; }
+.grid { display:grid; gap:16px;
+  grid-template-columns:repeat(auto-fit,minmax(380px,1fr)); }
+.card { background:var(--surface); border:1px solid var(--border);
+  border-radius:8px; padding:16px 16px 12px; }
+.card h2 { font-size:15px; margin:0 0 2px; }
+.stat { font-size:22px; font-weight:600; }
+.delta { font-size:12px; color:var(--ink2); }
+.delta.bad { color:var(--critical); font-weight:600; }
+.delta.good { color:var(--goodtext); font-weight:600; }
+.unit { color:var(--muted); font-size:12px; margin:8px 0 0; }
+figure.chart { margin:2px 0 0; position:relative; }
+figure.chart:focus { outline:2px solid var(--s1); outline-offset:2px; }
+svg { display:block; width:100%; height:auto; }
+.tick { font:10px system-ui,sans-serif; fill:var(--muted);
+  font-variant-numeric:tabular-nums; }
+.endlabel { font:11px system-ui,sans-serif; fill:var(--ink2);
+  font-variant-numeric:tabular-nums; }
+.legend { display:flex; gap:14px; flex-wrap:wrap; margin-top:4px;
+  font-size:12px; color:var(--ink2); }
+.key { display:inline-flex; align-items:center; gap:6px; }
+.swatch { width:14px; height:2px; display:inline-block; }
+.tip { position:absolute; pointer-events:none; background:var(--surface);
+  border:1px solid var(--border); border-radius:6px; padding:6px 10px;
+  font-size:12px; box-shadow:0 2px 8px rgba(0,0,0,0.12); display:none;
+  min-width:120px; z-index:2; }
+.tip .when { color:var(--muted); margin-bottom:2px; }
+.tip .row { display:flex; align-items:center; gap:6px; }
+.tip .row b { font-variant-numeric:tabular-nums; }
+.tip .row .k { width:10px; height:2px; display:inline-block; }
+.tip .row .n { color:var(--ink2); }
+.tip .reg { color:var(--critical); font-weight:600; }
+details { margin-top:8px; }
+summary { color:var(--ink2); font-size:12px; cursor:pointer; }
+table { border-collapse:collapse; margin-top:6px; font-size:12px; width:100%; }
+th,td { border-bottom:1px solid var(--grid); padding:3px 8px; text-align:left;
+  font-variant-numeric:tabular-nums; }
+th { color:var(--ink2); font-weight:600; }
+footer { margin-top:18px; color:var(--muted); font-size:12px; }
+"""
+
+# The hover layer: a crosshair that snaps to the nearest run, one tooltip
+# listing every series at that X (keyboard: arrows move, Escape hides).
+# Series/commit labels are inserted with textContent — never innerHTML.
+_JS = """
+document.getElementById('theme').addEventListener('click', function () {
+  var r = document.documentElement;
+  var dark = r.dataset.theme === 'dark' ||
+    (!r.dataset.theme && matchMedia('(prefers-color-scheme: dark)').matches);
+  r.dataset.theme = dark ? 'light' : 'dark';
+});
+document.querySelectorAll('figure.chart').forEach(function (fig) {
+  var data = JSON.parse(fig.querySelector('script').textContent);
+  var svg = fig.querySelector('svg'), tip = fig.querySelector('.tip');
+  var hair = svg.querySelector('.xhair');
+  function nearest(px) {
+    var best = 0, d = Infinity;
+    data.xs.forEach(function (x, i) {
+      var dd = Math.abs(x - px); if (dd < d) { d = dd; best = i; }
+    });
+    return best;
+  }
+  function show(i) {
+    var rect = svg.getBoundingClientRect(), sx = rect.width / data.w;
+    hair.setAttribute('x1', data.xs[i]); hair.setAttribute('x2', data.xs[i]);
+    hair.setAttribute('visibility', 'visible');
+    while (tip.firstChild) tip.removeChild(tip.firstChild);
+    var when = document.createElement('div'); when.className = 'when';
+    when.textContent = data.at[i] + (data.commit[i] ? ' @ ' + data.commit[i] : '');
+    tip.appendChild(when);
+    data.series.forEach(function (s) {
+      if (i >= s.values.length) return;
+      var row = document.createElement('div'); row.className = 'row';
+      var k = document.createElement('span'); k.className = 'k';
+      k.style.background = 'var(--s' + s.slot + ')';
+      var v = document.createElement('b'); v.textContent = s.values[i];
+      var n = document.createElement('span'); n.className = 'n';
+      n.textContent = s.name;
+      row.appendChild(k); row.appendChild(v); row.appendChild(n);
+      if (s.reg[i]) {
+        var r = document.createElement('span'); r.className = 'reg';
+        r.textContent = '\\u25b2 regression';
+        row.appendChild(r);
+      }
+      tip.appendChild(row);
+    });
+    tip.style.display = 'block';
+    var x = data.xs[i] * sx + 12;
+    if (x + tip.offsetWidth > rect.width) x = data.xs[i] * sx - tip.offsetWidth - 12;
+    tip.style.left = Math.max(0, x) + 'px';
+    tip.style.top = '12px';
+    fig.dataset.idx = i;
+  }
+  function hide() {
+    tip.style.display = 'none'; hair.setAttribute('visibility', 'hidden');
+  }
+  svg.addEventListener('pointermove', function (ev) {
+    var rect = svg.getBoundingClientRect();
+    show(nearest((ev.clientX - rect.left) * data.w / rect.width));
+  });
+  svg.addEventListener('pointerleave', hide);
+  fig.addEventListener('focus', function () { show(data.xs.length - 1); });
+  fig.addEventListener('blur', hide);
+  fig.addEventListener('keydown', function (ev) {
+    var i = +(fig.dataset.idx || data.xs.length - 1);
+    if (ev.key === 'ArrowLeft') { show(Math.max(0, i - 1)); ev.preventDefault(); }
+    if (ev.key === 'ArrowRight') {
+      show(Math.min(data.xs.length - 1, i + 1)); ev.preventDefault();
+    }
+    if (ev.key === 'Escape') hide();
+  });
+});
+"""
+
+
+def _json_for_html(payload: dict) -> str:
+    return json.dumps(payload, separators=(",", ":")).replace("</", "<\\/")
+
+
+def render_dashboard(meta: dict,
+                     tolerance: float = DEFAULT_TREND_TOLERANCE,
+                     source: str = "results/bench_meta.json",
+                     generated: str = "") -> str:
+    """The complete dashboard page for one bench-meta document."""
+    series = trend_series(meta, tolerance=tolerance)
+    by_key: dict[str, dict[str, list[TrendSeries]]] = {}
+    for s in series:
+        by_key.setdefault(s.key, {}).setdefault(s.group, []).append(s)
+
+    cards = []
+    chart_no = 0
+    for key, groups in sorted(by_key.items()):
+        parts = [f"<h2>{_esc(key)}</h2>"]
+        parts.append(f"<div>{_headline(list(groups.values())[0])}</div>")
+        for gname, group in sorted(groups.items()):
+            chart_no += 1
+            unit = group[0].unit
+            parts.append(f'<p class="unit">{_esc(gname)}'
+                         f'{f" ({_esc(unit)})" if unit else ""}</p>')
+            parts.append(
+                f'<figure class="chart" tabindex="0" '
+                f'aria-label="{_esc(key)} {_esc(gname)} trend">'
+                f'{_chart_svg(group, f"c{chart_no}")}'
+                f'<div class="tip" role="status"></div>'
+                f'<script type="application/json">'
+                f'{_json_for_html(_chart_payload(group))}</script>'
+                f"</figure>")
+            parts.append(_legend(group))
+        parts.append(_table(key, groups))
+        cards.append(f'<section class="card">{"".join(parts)}</section>')
+
+    if not cards:
+        cards.append('<section class="card"><h2>no trajectories</h2>'
+                     "<p>the bench meta file has no history entries yet — "
+                     "run the benchmarks to seed it.</p></section>")
+
+    n_reg = sum(1 for s in series for p in s.points if p.regressed)
+    sub = (f"{len(by_key)} benchmark(s), {len(series)} series · "
+           f"regression threshold {tolerance * 100:.0f}% vs previous run · "
+           f"{n_reg} regression point(s) flagged")
+    gen = f" · generated {_esc(generated)}" if generated else ""
+    return f"""<!doctype html>
+<html lang="en"><head><meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<meta name="generator" content="{TREND_SCHEMA}">
+<title>repro perf trend</title>
+<style>{_CSS}</style>
+</head><body>
+<header><h1>repro perf trend</h1>
+<span class="sub">{_esc(source)}{gen}</span>
+<button id="theme" type="button">light/dark</button></header>
+<p class="sub">{sub}</p>
+<div class="grid">{"".join(cards)}</div>
+<footer>wall-clock trajectories from <code>append_bench_history</code>;
+lower is better everywhere. ▲ marks a run slower than its predecessor
+beyond the threshold; vertical rules mark commit boundaries.</footer>
+<script>{_JS}</script>
+</body></html>
+"""
+
+
+def write_dashboard(meta_path, out_path,
+                    tolerance: float = DEFAULT_TREND_TOLERANCE,
+                    generated: str = "") -> Path:
+    """Render ``meta_path`` to ``out_path`` and return the written path."""
+    meta = load_bench_meta(meta_path)
+    out = Path(out_path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(render_dashboard(
+        meta, tolerance=tolerance, source=str(meta_path), generated=generated))
+    return out

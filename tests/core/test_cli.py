@@ -311,3 +311,179 @@ def test_perf_profile_sort_and_pstats_dump(tmp_path, capsys):
     # The dump round-trips through the standard pstats loader.
     stats = pstats.Stats(str(dump))
     assert stats.total_calls > 0
+
+
+# ---------------------------------------------------------------------------
+# Observability CLI: compare --format json / overrides, diff, trend, whatif
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def perf_baseline(tmp_path_factory):
+    """One recorded perf report shared by the compare/diff CLI tests."""
+    path = tmp_path_factory.mktemp("perf") / "baseline.json"
+    assert main(PERF_RUN + ["--quiet", "--json", str(path)]) == 0
+    return path
+
+
+def _slowed_copy(baseline: Path, out: Path, factor: float = 1.10) -> Path:
+    """A copy of ``baseline`` uniformly ``factor``x slower, keeping the
+    critical-path composition tiling the makespan exactly."""
+    doc = json.loads(baseline.read_text())
+    doc["makespan"] *= factor
+    doc["time_per_iteration"] *= factor
+    cp = doc["critical_path"]
+    cp["composition"] = {k: v * factor for k, v in cp["composition"].items()}
+    out.write_text(json.dumps(doc))
+    return out
+
+
+def test_perf_compare_json_schema_is_pinned(perf_baseline, capsys):
+    rc = main(["perf", "compare", str(perf_baseline), str(perf_baseline),
+               "--format", "json"])
+    doc = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    # The v1 machine-readable contract: exactly these keys.
+    assert set(doc) == {"schema", "ok", "tolerance", "overrides",
+                        "regressions", "improvements", "unchanged", "blame"}
+    assert doc["schema"] == "repro.perf-compare/1"
+    assert doc["ok"] is True and doc["blame"] is None
+    assert doc["unchanged"] == 2  # time_per_iteration + makespan
+
+
+def test_perf_compare_gate_trip_carries_a_blame_line(
+        perf_baseline, tmp_path, capsys):
+    slower = _slowed_copy(perf_baseline, tmp_path / "slower.json")
+    rc = main(["perf", "compare", str(perf_baseline), str(slower),
+               "--format", "json"])
+    doc = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert doc["ok"] is False
+    assert [r["metric"] for r in doc["regressions"]] == \
+        ["makespan", "time_per_iteration"]
+    for row in doc["regressions"]:
+        assert set(row) == {"metric", "baseline", "current", "ratio"}
+        assert row["ratio"] == pytest.approx(1.10)
+    # The diff-based explanation of *why* the gate tripped rides along.
+    assert isinstance(doc["blame"], str) and doc["blame"]
+
+    rc = main(["perf", "compare", str(perf_baseline), str(slower)])
+    out = capsys.readouterr().out
+    assert rc == 1 and "blame:" in out
+
+
+def test_perf_compare_per_metric_tolerance_overrides(
+        perf_baseline, tmp_path, capsys):
+    slower = _slowed_copy(perf_baseline, tmp_path / "slower.json")
+    rc = main(["perf", "compare", str(perf_baseline), str(slower),
+               "--tolerance-for", "time_per_iteration=0.2",
+               "--tolerance-for", "makespan=0.2"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "tolerance override" in out
+    # Overrides for metrics absent from these inputs are allowed.
+    assert main(["perf", "compare", str(perf_baseline), str(slower),
+                 "--tolerance-for", "time_per_iteration=0.2",
+                 "--tolerance-for", "makespan=0.2",
+                 "--tolerance-for", "fig6a.wall_s=0.5"]) == 0
+    capsys.readouterr()
+
+
+def test_perf_compare_bad_override_spec_exits_two(perf_baseline, capsys):
+    for bad in ("time_per_iteration", "=0.2", "makespan=-0.1", "makespan=x"):
+        rc = main(["perf", "compare", str(perf_baseline), str(perf_baseline),
+                   "--tolerance-for", bad])
+        captured = capsys.readouterr()
+        assert rc == 2, bad
+        assert "--tolerance-for" in captured.err
+
+
+def test_perf_diff_text_and_json(perf_baseline, tmp_path, capsys):
+    slower = _slowed_copy(perf_baseline, tmp_path / "slower.json")
+    rc = main(["perf", "diff", str(perf_baseline), str(slower)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "perf diff: makespan" in out and "blame:" in out
+
+    rc = main(["perf", "diff", str(perf_baseline), str(slower),
+               "--format", "json"])
+    doc = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert doc["schema"] == "repro.perf-diff/1"
+    assert doc["makespan_delta"] == pytest.approx(
+        json.loads(perf_baseline.read_text())["makespan"] * 0.10)
+
+
+def test_perf_diff_incomparable_exits_two(perf_baseline, tmp_path, capsys):
+    # Exit 2 (not the gate-fail 1): a pre-app report has no comparable
+    # phase vocabulary.
+    old_doc = json.loads(perf_baseline.read_text())
+    old_doc["config"].pop("app")
+    old = tmp_path / "old.json"
+    old.write_text(json.dumps(old_doc))
+    rc = main(["perf", "diff", str(old), str(perf_baseline)])
+    captured = capsys.readouterr()
+    assert rc == 2
+    assert "pre-app report shape" in captured.err
+
+    rc = main(["perf", "diff", str(perf_baseline), "/nonexistent.json"])
+    captured = capsys.readouterr()
+    assert rc == 2
+    assert "cannot read" in captured.err
+
+
+def test_perf_trend_writes_the_dashboard(tmp_path, capsys):
+    meta = tmp_path / "bench_meta.json"
+    meta.write_text(json.dumps({"fig": {
+        "latest": {"at": "2026-08-08T00:00:00+00:00", "wall_s": 0.2},
+        "history": [{"at": "2026-08-08T00:00:00+00:00", "wall_s": 0.2}]}}))
+    out = tmp_path / "trend.html"
+    rc = main(["perf", "trend", "--meta", str(meta), "--out", str(out)])
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert str(out) in captured.err
+    assert "repro.trend/1" in out.read_text()
+
+
+def test_perf_trend_missing_meta_exits_two(tmp_path, capsys):
+    rc = main(["perf", "trend", "--meta", str(tmp_path / "absent.json"),
+               "--out", str(tmp_path / "trend.html")])
+    captured = capsys.readouterr()
+    assert rc == 2
+    assert "cannot read" in captured.err
+
+
+PERF_WHATIF = ["perf", "whatif", "--version", "charm-d",
+               "--grid", "64", "64", "64", "--odf", "2",
+               "--iterations", "2", "--warmup", "1"]
+
+
+def test_perf_whatif_projects_interventions(capsys):
+    rc = main(PERF_WHATIF + ["--intervene", "net*0",
+                             "--intervene", "h2d*0.5", "--format", "json"])
+    doc = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert doc["recorded_makespan"] > 0
+    # Canonical spelling: the multiply sign renders as "x".
+    assert [p["intervention"] for p in doc["predictions"]] == \
+        ["netx0", "h2dx0.5"]
+    for pred in doc["predictions"]:
+        assert 0 < pred["makespan"] <= doc["recorded_makespan"] * (1 + 1e-9)
+
+
+def test_perf_whatif_check_validates_against_reruns(capsys):
+    rc = main(PERF_WHATIF + ["--intervene", "net*0", "--check"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "what-if model" in out
+    assert "predicted" in out and "actual" in out and "error" in out
+
+
+def test_perf_whatif_bad_inputs_exit_two(capsys):
+    rc = main(PERF_WHATIF + ["--intervene", "warp*fast"])
+    assert rc == 2
+    assert "perf whatif" in capsys.readouterr().err
+    # Nothing to project is an input error, not a silent no-op.
+    rc = main(PERF_WHATIF)
+    assert rc == 2
+    assert "nothing to project" in capsys.readouterr().err

@@ -87,6 +87,7 @@ def test_redeclare_with_different_kind_raises():
 # ---------------------------------------------------------------------------
 
 
+@pytest.mark.filterwarnings("ignore::RuntimeWarning")
 def test_cardinality_cap_folds_into_overflow_series():
     reg = MetricsRegistry(max_series=4)
     for i in range(10):
@@ -98,6 +99,7 @@ def test_cardinality_cap_folds_into_overflow_series():
     assert counter.total() == 10  # nothing lost, only label detail
 
 
+@pytest.mark.filterwarnings("ignore::RuntimeWarning")
 def test_cardinality_cap_existing_series_keep_updating():
     reg = MetricsRegistry(max_series=2)
     reg.inc("c", pe=0)
@@ -109,6 +111,7 @@ def test_cardinality_cap_existing_series_keep_updating():
     assert counter.dropped_series == 1
 
 
+@pytest.mark.filterwarnings("ignore::RuntimeWarning")
 def test_snapshot_reports_overflow():
     reg = MetricsRegistry(max_series=1)
     reg.inc("c", pe=0)
@@ -198,3 +201,40 @@ def test_names_and_contains():
     reg.inc("a")
     assert reg.names() == ["a", "b"]
     assert "a" in reg and "zzz" not in reg
+
+
+def test_overflow_warns_once_per_metric():
+    reg = MetricsRegistry(max_series=2)
+    reg.inc("leaky", k=0)
+    reg.inc("leaky", k=1)
+    with pytest.warns(RuntimeWarning, match="leaky.*folding"):
+        reg.inc("leaky", k=2)  # first fold warns
+    import warnings as _warnings
+    with _warnings.catch_warnings():
+        _warnings.simplefilter("error")  # a second warning would raise
+        reg.inc("leaky", k=3)
+        reg.inc("leaky", k=4)
+    # A different metric gets its own single warning.
+    reg.inc("other", k=0)
+    reg.inc("other", k=1)
+    with pytest.warns(RuntimeWarning, match="other"):
+        reg.inc("other", k=2)
+
+
+def test_overflow_total_surfaces_in_summaries():
+    from repro.obs import OVERFLOW_METRIC
+
+    reg = MetricsRegistry(max_series=1)
+    reg.inc("clean")
+    # No folding yet: the synthetic counter stays out of the way.
+    assert OVERFLOW_METRIC not in reg.scalar_totals()
+    assert OVERFLOW_METRIC not in reg.snapshot()
+    with pytest.warns(RuntimeWarning):
+        reg.inc("leaky", k=0)
+        reg.inc("leaky", k=1)
+        reg.inc("leaky", k=2)
+    assert reg.overflow_total() == 2
+    assert reg.scalar_totals()[OVERFLOW_METRIC] == 2.0
+    snap = reg.snapshot()[OVERFLOW_METRIC]
+    assert snap["kind"] == "counter"
+    assert snap["series"] == [{"labels": {"metric": "leaky"}, "value": 2}]

@@ -1,0 +1,154 @@
+"""Perf-trend dashboard: trajectory flattening, regression and per-PR
+boundary flags, and the generated HTML's contract."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    TREND_SCHEMA,
+    load_bench_meta,
+    render_dashboard,
+    trend_series,
+    write_dashboard,
+)
+
+
+def _meta(wall=(0.2, 0.21, 0.3), commits=(None, None, None)):
+    history = [
+        {"at": f"2026-08-0{i + 1}T00:00:00+00:00", "wall_s": w,
+         **({"commit": c} if c else {})}
+        for i, (w, c) in enumerate(zip(wall, commits))
+    ]
+    return {"fig": {"latest": history[-1], "history": history}}
+
+
+# ---------------------------------------------------------------------------
+# Analysis
+# ---------------------------------------------------------------------------
+
+
+def test_series_per_key_and_metric():
+    meta = _meta()
+    meta["engine"] = {"latest": {}, "history": [
+        {"at": "2026-08-01T00:00:00+00:00", "wall_s": 0.5,
+         "us_per_event": {"small": 2.4, "large": 5.5}},
+    ]}
+    series = trend_series(meta)
+    names = {(s.key, s.metric) for s in series}
+    assert names == {("fig", "wall_s"), ("engine", "wall_s"),
+                     ("engine", "us_per_event.small"),
+                     ("engine", "us_per_event.large")}
+    engine = next(s for s in series if s.metric == "us_per_event.small")
+    assert engine.unit == "µs/event" and engine.group == "us_per_event"
+    assert engine.label == "small"
+
+
+def test_regression_flag_uses_the_gate_rule():
+    series = trend_series(_meta(wall=(0.2, 0.205, 0.3)), tolerance=0.05)
+    flags = [p.regressed for p in series[0].points]
+    # 0.205 is within 5% of 0.2; 0.3 is not within 5% of 0.205.
+    assert flags == [False, False, True]
+    # A looser tolerance unflags it.
+    loose = trend_series(_meta(wall=(0.2, 0.205, 0.3)), tolerance=0.5)
+    assert not any(p.regressed for p in loose[0].points)
+    with pytest.raises(ValueError):
+        trend_series(_meta(), tolerance=-0.1)
+
+
+def test_pr_boundaries_follow_commit_stamps():
+    series = trend_series(_meta(commits=("aaa", "aaa", "bbb")))
+    marks = [p.pr_boundary for p in series[0].points]
+    assert marks == [False, False, True]
+    assert [p.commit for p in series[0].points] == ["aaa", "aaa", "bbb"]
+    # No stamps at all -> no boundaries.
+    assert not any(p.pr_boundary for s in trend_series(_meta())
+                   for p in s.points)
+
+
+def test_legacy_flat_entries_and_junk_slots():
+    meta = {"old": {"wall_s": 0.4, "at": "2026-08-01T00:00:00+00:00"},
+            "junk": "not a dict", "numbers": 7}
+    series = trend_series(meta)
+    assert [(s.key, len(s.points)) for s in series] == [("old", 1)]
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+
+def test_dashboard_contract():
+    meta = _meta(wall=(0.2, 0.21, 0.3), commits=("aaa", "aaa", "bbb"))
+    page = render_dashboard(meta, source="x/bench_meta.json")
+    assert TREND_SCHEMA in page
+    assert "x/bench_meta.json" in page
+    # One chart with its hover payload, a legendless single series, the
+    # regression triangle, the PR-boundary commit label, and a table view.
+    assert page.count('<figure class="chart"') == 1
+    payloads = [json.loads(p.replace("<\\/", "</")) for p in
+                _payloads(page)]
+    assert len(payloads) == 1 and len(payloads[0]["xs"]) == 3
+    assert '<path d="M' in page  # regression marker
+    assert ">bbb<" in page  # commit boundary label
+    assert "table view" in page
+    assert "▲ regression" in page  # non-color-alone flag in the table
+    assert 'class="legend"' not in page  # single series: no legend box
+
+
+def test_dashboard_multi_series_has_a_legend():
+    meta = {"engine": {"latest": {}, "history": [
+        {"at": "2026-08-01T00:00:00+00:00",
+         "us_per_event": {"small": 2.4, "large": 5.5}}]}}
+    page = render_dashboard(meta)
+    assert 'class="legend"' in page
+    assert ">small<" in page and ">large<" in page
+
+
+def test_dashboard_escapes_untrusted_keys():
+    meta = {"<script>alert(1)</script>": {
+        "latest": {}, "history": [{"wall_s": 0.1}]}}
+    page = render_dashboard(meta)
+    assert "<script>alert(1)</script>" not in page
+    assert "&lt;script&gt;" in page
+
+
+def test_empty_meta_renders_a_placeholder():
+    page = render_dashboard({})
+    assert "no trajectories" in page
+
+
+def _payloads(page):
+    import re
+    return re.findall(r'<script type="application/json">(.*?)</script>',
+                      page, re.S)
+
+
+# ---------------------------------------------------------------------------
+# File round-trip
+# ---------------------------------------------------------------------------
+
+
+def test_write_dashboard(tmp_path):
+    meta_path = tmp_path / "bench_meta.json"
+    meta_path.write_text(json.dumps(_meta()))
+    out = write_dashboard(meta_path, tmp_path / "sub" / "trend.html",
+                          generated="2026-08-08")
+    page = out.read_text()
+    assert out.name == "trend.html"
+    assert "2026-08-08" in page and "fig" in page
+
+
+def test_load_bench_meta_errors():
+    with pytest.raises(ValueError, match="cannot read"):
+        load_bench_meta("/nonexistent/bench_meta.json")
+
+
+def test_load_bench_meta_rejects_non_objects(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("[1, 2]")
+    with pytest.raises(ValueError, match="JSON object"):
+        load_bench_meta(bad)
+    bad.write_text("{not json")
+    with pytest.raises(ValueError, match="not valid JSON"):
+        load_bench_meta(bad)
